@@ -1,0 +1,133 @@
+//! Kernel micro-benchmarks: the §4 parameter-derivation methodology run
+//! on this repository's own kernels. Each benchmark reports throughput,
+//! from which `Cb = clock / (bytes per second)` follows; comparing two
+//! implementations of the same kernel yields `A`.
+//!
+//! Granularities mirror the paper's CDFs: encryption at 64 B–4 KiB
+//! (Fig. 15), compression at 256 B–32 KiB (Fig. 19), copies at
+//! 64 B–4 KiB (Fig. 21).
+
+use accelerometer_kernels::aes::Aes128;
+use accelerometer_kernels::mlp::Mlp;
+use accelerometer_kernels::{hash, lz, SizeClassAllocator};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn data(len: usize) -> Vec<u8> {
+    // Mildly compressible byte stream (structured like an RPC payload).
+    (0..len)
+        .map(|i| match i % 16 {
+            0..=7 => b'a' + (i % 8) as u8,
+            8..=11 => (i / 16 % 251) as u8,
+            _ => 0,
+        })
+        .collect()
+}
+
+fn bench_aes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/aes128_ctr");
+    let cipher = Aes128::new(&[7u8; 16]);
+    for &size in &[64usize, 256, 1024, 4096] {
+        let mut buf = data(size);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| cipher.ctr_apply(black_box(&[3u8; 16]), black_box(&mut buf)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/lz_compress");
+    for &size in &[256usize, 4096, 32_768] {
+        let input = data(size);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| lz::compress(black_box(&input)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("kernels/lz_decompress");
+    for &size in &[4096usize, 32_768] {
+        let compressed = lz::compress(&data(size));
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| lz::decompress(black_box(&compressed)).expect("valid stream"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/hashing");
+    let input = data(4096);
+    group.throughput(Throughput::Bytes(4096));
+    group.bench_function("sha256_4k", |b| b.iter(|| hash::sha256(black_box(&input))));
+    group.bench_function("fnv1a_4k", |b| b.iter(|| hash::fnv1a_64(black_box(&input))));
+    group.finish();
+}
+
+fn bench_mlp(c: &mut Criterion) {
+    // A Feed1-shaped relevance model: 512-feature vectors.
+    let mlp = Mlp::seeded_ranker(&[512, 256, 64, 1], 42);
+    let features: Vec<f32> = (0..512).map(|i| i as f32 / 512.0).collect();
+    let mut group = c.benchmark_group("kernels/mlp_inference");
+    group.throughput(Throughput::Elements(mlp.macs() as u64));
+    group.bench_function("ranker_512x256x64x1", |b| {
+        b.iter(|| mlp.infer(black_box(&features)).expect("valid input"))
+    });
+    group.finish();
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    // The §2.3.1 free-path comparison: unsized free pays the size-class
+    // lookup, sized free (C++14 sized delete) does not.
+    let mut group = c.benchmark_group("kernels/allocator");
+    group.bench_function("alloc_free_unsized_128B", |b| {
+        let mut alloc = SizeClassAllocator::new();
+        b.iter(|| {
+            let h = alloc.alloc(black_box(128)).expect("in range");
+            alloc.free(h);
+        })
+    });
+    group.bench_function("alloc_free_sized_128B", |b| {
+        let mut alloc = SizeClassAllocator::new();
+        b.iter(|| {
+            let h = alloc.alloc(black_box(128)).expect("in range");
+            alloc.free_with_size(h, 128);
+        })
+    });
+    group.finish();
+}
+
+fn bench_memcpy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/memcpy");
+    for &size in &[64usize, 512, 4096] {
+        let src = data(size);
+        let mut dst = vec![0u8; size];
+        let mut counter = accelerometer_kernels::OpCounter::new();
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                accelerometer_kernels::memops::copy(
+                    &mut counter,
+                    "bench",
+                    black_box(&mut dst),
+                    black_box(&src),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_aes,
+    bench_compression,
+    bench_hashing,
+    bench_mlp,
+    bench_allocator,
+    bench_memcpy
+);
+criterion_main!(benches);

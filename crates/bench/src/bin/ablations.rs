@@ -1,0 +1,16 @@
+//! Runs the ablation studies: `ablations [--seed N]`.
+//!
+//! Prefer a release build — each ablation runs simulator A/B
+//! experiments: `cargo run --release -p accelerometer-bench --bin
+//! ablations`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_260_706);
+    println!("{}", accelerometer_bench::ablations::render_all(seed));
+}

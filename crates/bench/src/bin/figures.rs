@@ -1,0 +1,56 @@
+//! Regenerates the paper's figures: `figures [figN ...|all] [--json]`.
+
+use accelerometer_bench::{figure, figure_json, FIGURE_IDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let requested: Vec<&str> = args
+        .iter()
+        .filter(|a| *a != "--json")
+        .map(String::as_str)
+        .collect();
+    let ids: Vec<&str> = if requested.is_empty() || requested.contains(&"all") {
+        FIGURE_IDS.to_vec()
+    } else {
+        requested
+    };
+    let mut failed = false;
+    for id in ids {
+        if json {
+            match figure_json(id) {
+                Some(value) => println!(
+                    "{}",
+                    serde_json::to_string_pretty(&serde_json::json!({ id: value }))
+                        .expect("figure data serializes")
+                ),
+                None => {
+                    eprintln!("no JSON series for {id} (timeline figures are text-only)");
+                }
+            }
+        } else if id == "design-space" {
+            // Extra (non-paper) figure: the A x L heatmap per design.
+            for design in [
+                accelerometer::ThreadingDesign::Sync,
+                accelerometer::ThreadingDesign::SyncOs,
+                accelerometer::ThreadingDesign::AsyncNoResponse,
+            ] {
+                println!(
+                    "{}",
+                    accelerometer_bench::design_space::render(2.3e9, 0.15, 15_008.0, design)
+                );
+            }
+        } else {
+            match figure(id) {
+                Some(text) => println!("{text}"),
+                None => {
+                    eprintln!("unknown figure id: {id} (expected fig1..fig22, or design-space)");
+                    failed = true;
+                }
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

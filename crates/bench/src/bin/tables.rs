@@ -1,0 +1,29 @@
+//! Regenerates the paper's tables: `tables [tableN ...|all]`.
+//!
+//! `table6` runs the simulator's deterministic A/B validation, so prefer
+//! a release build: `cargo run --release -p accelerometer-bench --bin
+//! tables -- table6`.
+
+use accelerometer_bench::{render_table, TABLE_IDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        TABLE_IDS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let mut failed = false;
+    for id in ids {
+        match render_table(id) {
+            Some(text) => println!("{text}"),
+            None => {
+                eprintln!("unknown table id: {id} (expected table1..table7)");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

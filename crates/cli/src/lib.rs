@@ -1,0 +1,494 @@
+//! # accelctl
+//!
+//! The Accelerometer artifact workflow as a command-line tool
+//! (Appendix A.5 of the paper): "(a) identify model parameters for the
+//! accelerator under test, (b) input these model parameters into a
+//! configuration file, and (c) run the Accelerometer model for these
+//! model parameters to estimate speedup from acceleration."
+//!
+//! Commands:
+//!
+//! * `accelctl estimate <config.json>` — evaluate every scenario in a
+//!   parameter file (see [`accelerometer::config`] for the format);
+//! * `accelctl breakeven --cb <c/B> --a <A> [--o0 N] [--l N] [--q N]
+//!   [--o1 N] [--design D] [--strategy S]` — minimum lucrative `g`;
+//! * `accelctl sweep <config.json> --axis <axis> --from <x> --to <x>
+//!   [--points N]` — sweep one parameter of the file's first scenario;
+//! * `accelctl project` — the §5 acceleration recommendations (Fig. 20);
+//! * `accelctl characterize <service> [--samples N] [--seed N]` — run the
+//!   synthetic profiler and print the §2 breakdowns;
+//! * `accelctl validate [--seed N]` — run the Table 6 A/B validation in
+//!   the simulator;
+//! * `accelctl timeline <design>` — render the Figs. 12–14 offload
+//!   timeline for a threading design;
+//! * `accelctl bounds <config.json>` — decompose each scenario's cycle
+//!   budget and name the dominant performance bound;
+//! * `accelctl slo <config.json> [--min-reduction R]` — latency-SLO
+//!   guardrails: tolerable L, n, and required A per scenario.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::fs;
+
+use accelerometer::units::cycles_per_byte;
+use accelerometer::{
+    bounds, project, slo, sweep, throughput_breakeven, AccelerationStrategy, BreakEven,
+    ConfigFile, Cycles, DriverMode, KernelCost, LatencySlo, OffloadContext, OffloadOverheads,
+    Scenario, ThreadingDesign, Timeline, TimelineSpec,
+};
+use accelerometer_fleet::params::all_recommendations;
+use accelerometer_fleet::{profile, ServiceId};
+use accelerometer_profiler::{analyze, to_folded, TraceGenerator};
+use accelerometer_sim::validate_all;
+
+/// Top-level usage text.
+pub const USAGE: &str = "usage: accelctl <command> [args]
+commands:
+  estimate <config.json>          evaluate scenarios from a parameter file
+  breakeven --cb <c/B> --a <A> [--o0 N] [--l N] [--q N] [--o1 N]
+            [--design D] [--strategy S]
+  sweep <config.json> --axis <peak-speedup|interface-latency|offloads|
+        kernel-fraction|queueing|thread-switch> --from X --to X [--points N]
+  project                         Section 5 recommendations (Fig. 20)
+  characterize <service> [--samples N] [--seed N] [--folded]
+  validate [--seed N]             Table 6 A/B validation in the simulator
+  timeline <sync|sync-os|async-same-thread|async-distinct-thread|
+            async-no-response>
+  bounds <config.json>            dominant performance bound per scenario
+  slo <config.json> [--min-reduction R]   latency-SLO guardrails";
+
+/// Runs the CLI on pre-split arguments (excluding the program name),
+/// returning the text to print.
+///
+/// # Errors
+///
+/// Returns a human-readable error message for unknown commands, missing
+/// arguments, unreadable files, or invalid parameters.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("estimate") => cmd_estimate(&args[1..]),
+        Some("breakeven") => cmd_breakeven(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("project") => Ok(cmd_project()),
+        Some("characterize") => cmd_characterize(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("timeline") => cmd_timeline(&args[1..]),
+        Some("bounds") => cmd_bounds(&args[1..]),
+        Some("slo") => cmd_slo(&args[1..]),
+        Some("help") | None => Ok(USAGE.to_owned()),
+        Some(other) => Err(format!("unknown command '{other}'\n{USAGE}")),
+    }
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_f64(args: &[String], name: &str, default: Option<f64>) -> Result<f64, String> {
+    match flag_value(args, name) {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("{name} expects a number, got '{v}'")),
+        None => default.ok_or_else(|| format!("missing required flag {name}")),
+    }
+}
+
+fn parse_design(value: &str) -> Result<ThreadingDesign, String> {
+    serde_json::from_value(serde_json::Value::String(value.to_owned()))
+        .map_err(|_| format!("unknown threading design '{value}'"))
+}
+
+fn parse_strategy(value: &str) -> Result<AccelerationStrategy, String> {
+    serde_json::from_value(serde_json::Value::String(value.to_owned()))
+        .map_err(|_| format!("unknown strategy '{value}'"))
+}
+
+fn parse_service(value: &str) -> Result<ServiceId, String> {
+    ServiceId::ALL
+        .into_iter()
+        .find(|s| s.to_string().eq_ignore_ascii_case(value))
+        .ok_or_else(|| format!("unknown service '{value}' (expected Web, Feed1, ..., Cache3)"))
+}
+
+fn load_config(path: &str) -> Result<ConfigFile, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    ConfigFile::from_json(&text).map_err(|e| e.to_string())
+}
+
+fn format_scenario_result(name: &str, scenario: &Scenario) -> String {
+    let est = scenario.estimate();
+    format!(
+        "{name}: throughput speedup {:.4}x ({:+.2}%), latency reduction {:.4}x ({:+.2}%)  [{} / {}]",
+        est.throughput_speedup,
+        est.throughput_gain_percent(),
+        est.latency_reduction,
+        est.latency_gain_percent(),
+        scenario.design,
+        scenario.strategy,
+    )
+}
+
+fn cmd_estimate(args: &[String]) -> Result<String, String> {
+    let path = args
+        .first()
+        .ok_or("estimate requires a config file path")?;
+    let cfg = load_config(path)?;
+    let scenarios = cfg.to_scenarios().map_err(|e| e.to_string())?;
+    if scenarios.is_empty() {
+        return Err("config contains no scenarios".to_owned());
+    }
+    let mut out = String::new();
+    for (name, scenario) in &scenarios {
+        let _ = writeln!(out, "{}", format_scenario_result(name, scenario));
+    }
+    Ok(out)
+}
+
+fn cmd_breakeven(args: &[String]) -> Result<String, String> {
+    let cb = parse_f64(args, "--cb", None)?;
+    let a = parse_f64(args, "--a", None)?;
+    let o0 = parse_f64(args, "--o0", Some(0.0))?;
+    let l = parse_f64(args, "--l", Some(0.0))?;
+    let q = parse_f64(args, "--q", Some(0.0))?;
+    let o1 = parse_f64(args, "--o1", Some(0.0))?;
+    let design = match flag_value(args, "--design") {
+        Some(d) => parse_design(&d)?,
+        None => ThreadingDesign::Sync,
+    };
+    let strategy = match flag_value(args, "--strategy") {
+        Some(s) => parse_strategy(&s)?,
+        None => AccelerationStrategy::OffChip,
+    };
+    let ctx = OffloadContext::new(OffloadOverheads::new(o0, l, q, o1), a, design, strategy);
+    let cost = KernelCost::linear(cycles_per_byte(cb));
+    let be = throughput_breakeven(&cost, &ctx);
+    Ok(match be {
+        BreakEven::AtLeast(g) => format!(
+            "offloads improve throughput when g >= {:.1} B  [{design} / {strategy}]",
+            g.get()
+        ),
+        BreakEven::Always => format!("every offload improves throughput  [{design} / {strategy}]"),
+        BreakEven::Never => format!(
+            "no granularity improves throughput (A = {a} cannot recoup overheads)  [{design} / {strategy}]"
+        ),
+    })
+}
+
+fn cmd_sweep(args: &[String]) -> Result<String, String> {
+    let path = args.first().ok_or("sweep requires a config file path")?;
+    let cfg = load_config(path)?;
+    let (name, scenario) = cfg
+        .to_scenarios()
+        .map_err(|e| e.to_string())?
+        .into_iter()
+        .next()
+        .ok_or("config contains no scenarios")?;
+    let axis_name = flag_value(args, "--axis").ok_or("missing required flag --axis")?;
+    let axis: sweep::SweepAxis =
+        serde_json::from_value(serde_json::Value::String(axis_name.clone()))
+            .map_err(|_| format!("unknown sweep axis '{axis_name}'"))?;
+    let from = parse_f64(args, "--from", None)?;
+    let to = parse_f64(args, "--to", None)?;
+    let points = parse_f64(args, "--points", Some(10.0))? as usize;
+    if from >= to || points < 2 {
+        return Err("sweep requires --from < --to and --points >= 2".to_owned());
+    }
+    let values = if from > 0.0 {
+        sweep::log_space(from, to, points)
+    } else {
+        sweep::lin_space(from, to, points)
+    };
+    let mut out = format!("sweep of {axis_name} for scenario '{name}':\n");
+    for point in sweep::sweep(&scenario, axis, &values) {
+        let _ = writeln!(
+            out,
+            "  {axis_name} = {:>12.2}: speedup {:.4}x, latency reduction {:.4}x",
+            point.x, point.estimate.throughput_speedup, point.estimate.latency_reduction
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_project() -> String {
+    let mut out = String::from("Section 5 acceleration recommendations (Fig. 20):\n");
+    for rec in all_recommendations() {
+        let _ = writeln!(out, "{} (ideal {:.1}%):", rec.name, rec.paper_ideal_percent);
+        for cfg in &rec.configs {
+            let p = project(&rec.profile, &cfg.accelerator, cfg.design, cfg.policy)
+                .expect("static recommendation parameters are valid");
+            let breakeven = match p.breakeven {
+                BreakEven::AtLeast(g) => format!("g >= {:.0} B", g.get()),
+                BreakEven::Always => "all offloads".to_owned(),
+                BreakEven::Never => "never lucrative".to_owned(),
+            };
+            let _ = writeln!(
+                out,
+                "  {:<18} speedup {:>6.2}%  latency {:>6.2}%  n = {:>9.0}  ({breakeven})",
+                cfg.label,
+                p.estimate.throughput_gain_percent(),
+                p.estimate.latency_gain_percent(),
+                p.selection.offloads,
+            );
+        }
+    }
+    out
+}
+
+fn cmd_characterize(args: &[String]) -> Result<String, String> {
+    let service = parse_service(args.first().ok_or("characterize requires a service name")?)?;
+    let samples = parse_f64(args, "--samples", Some(50_000.0))? as usize;
+    let seed = parse_f64(args, "--seed", Some(42.0))? as u64;
+    if samples == 0 {
+        return Err("--samples must be positive".to_owned());
+    }
+    let mut generator = TraceGenerator::new(profile(service), seed);
+    let traces = generator.generate(samples);
+    if args.iter().any(|a| a == "--folded") {
+        // Collapsed-stack output for flamegraph tooling.
+        return Ok(to_folded(&traces));
+    }
+    let report = analyze(&traces, generator.registry());
+    Ok(format!("characterization of {service}:\n{}", report.render()))
+}
+
+fn cmd_validate(args: &[String]) -> Result<String, String> {
+    let seed = parse_f64(args, "--seed", Some(20_260_706.0))? as u64;
+    let mut out = String::from("Table 6 validation (model vs simulated A/B vs paper):\n");
+    for v in validate_all(seed) {
+        let _ = writeln!(
+            out,
+            "  {:<11} model {:>6.2}%  simulated {:>6.2}%  paper est {:>5.1}% real {:>6.2}%  (model-vs-sim {:.2} pts)",
+            v.name,
+            v.model_estimate_percent,
+            v.simulated_percent,
+            v.paper_estimated_percent,
+            v.paper_real_percent,
+            v.model_vs_simulated_points(),
+        );
+    }
+    out.push_str("paper's bound: model estimates real speedup with <= 3.7% error\n");
+    Ok(out)
+}
+
+fn cmd_timeline(args: &[String]) -> Result<String, String> {
+    let design = parse_design(args.first().ok_or("timeline requires a threading design")?)?;
+    let spec = TimelineSpec {
+        kernel_cycles: Cycles::new(10_000.0),
+        peak_speedup: 10.0,
+        overheads: OffloadOverheads::new(300.0, 600.0, 200.0, 500.0),
+        design,
+        strategy: AccelerationStrategy::OffChip,
+        driver: DriverMode::AwaitsAck,
+    };
+    Ok(format!(
+        "offload timeline for {design}:\n{}",
+        Timeline::build(spec).render_ascii(70)
+    ))
+}
+
+fn cmd_bounds(args: &[String]) -> Result<String, String> {
+    let path = args.first().ok_or("bounds requires a config file path")?;
+    let cfg = load_config(path)?;
+    let scenarios = cfg.to_scenarios().map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    for (name, scenario) in &scenarios {
+        let report = bounds::diagnose(scenario);
+        let _ = writeln!(out, "{name}:");
+        for line in report.render().lines() {
+            let _ = writeln!(out, "  {line}");
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_slo(args: &[String]) -> Result<String, String> {
+    let path = args.first().ok_or("slo requires a config file path")?;
+    let cfg = load_config(path)?;
+    let min_reduction = parse_f64(args, "--min-reduction", Some(1.0))?;
+    let target = LatencySlo::at_least(min_reduction).map_err(|e| e.to_string())?;
+    let scenarios = cfg.to_scenarios().map_err(|e| e.to_string())?;
+    let mut out = format!("latency SLO: require C/CL >= {min_reduction}\n");
+    for (name, scenario) in &scenarios {
+        let met = if target.is_met_by(scenario) { "MET" } else { "VIOLATED" };
+        let max_l = slo::max_interface_latency(scenario, target)
+            .map_or("infeasible".to_owned(), |c| format!("{:.0} cycles", c.get()));
+        let max_n = slo::max_offload_rate(scenario, target)
+            .map_or("infeasible".to_owned(), |n| {
+                if n.is_infinite() {
+                    "unbounded".to_owned()
+                } else {
+                    format!("{n:.0}/window")
+                }
+            });
+        let min_a = slo::min_peak_speedup(scenario, target)
+            .map_or("infeasible".to_owned(), |a| format!("{a:.2}"));
+        let _ = writeln!(
+            out,
+            "  {name}: {met}; max L = {max_l}; max n = {max_n}; min A = {min_a}"
+        );
+        if slo::gains_throughput_but_slows_requests(scenario) {
+            let _ = writeln!(
+                out,
+                "    warning: gains throughput while slowing individual requests (Sync-OS hazard)"
+            );
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    fn write_config() -> String {
+        let path = std::env::temp_dir().join(format!("accelctl-test-{}.json", std::process::id()));
+        fs::write(
+            &path,
+            r#"{"scenarios": [{
+                "name": "aes-ni-cache1",
+                "c": 2.0e9, "alpha": 0.165844, "n": 298951,
+                "o0": 10, "l": 3, "a": 6,
+                "design": "sync", "strategy": "on-chip"
+            }]}"#,
+        )
+        .expect("temp file writable");
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(run(&[]).unwrap().contains("usage"));
+        assert!(run(&args(&["help"])).unwrap().contains("estimate"));
+        let err = run(&args(&["frobnicate"])).unwrap_err();
+        assert!(err.contains("unknown command"));
+    }
+
+    #[test]
+    fn estimate_reproduces_case_study_1() {
+        let path = write_config();
+        let out = run(&args(&["estimate", &path])).unwrap();
+        fs::remove_file(&path).ok();
+        assert!(out.contains("aes-ni-cache1"), "{out}");
+        assert!(out.contains("+15.7"), "{out}");
+    }
+
+    #[test]
+    fn estimate_errors_on_missing_file() {
+        let err = run(&args(&["estimate", "/nonexistent/file.json"])).unwrap_err();
+        assert!(err.contains("cannot read"));
+        assert!(run(&args(&["estimate"])).is_err());
+    }
+
+    #[test]
+    fn breakeven_reports_425_bytes() {
+        let out = run(&args(&[
+            "breakeven", "--cb", "5.62", "--a", "27", "--l", "2300",
+        ]))
+        .unwrap();
+        assert!(out.contains("425"), "{out}");
+        // Async variant: threshold drops to ~409 B.
+        let out = run(&args(&[
+            "breakeven",
+            "--cb",
+            "5.62",
+            "--a",
+            "27",
+            "--l",
+            "2300",
+            "--design",
+            "async-no-response",
+        ]))
+        .unwrap();
+        assert!(out.contains("409"), "{out}");
+    }
+
+    #[test]
+    fn breakeven_requires_cb_and_a() {
+        assert!(run(&args(&["breakeven", "--cb", "5.0"])).is_err());
+        assert!(run(&args(&["breakeven", "--a", "6"])).is_err());
+        assert!(run(&args(&["breakeven", "--cb", "x", "--a", "6"])).is_err());
+    }
+
+    #[test]
+    fn sweep_runs_over_config() {
+        let path = write_config();
+        let out = run(&args(&[
+            "sweep", &path, "--axis", "peak-speedup", "--from", "2", "--to", "32", "--points", "5",
+        ]))
+        .unwrap();
+        fs::remove_file(&path).ok();
+        assert_eq!(out.lines().count(), 6, "{out}");
+        assert!(out.contains("speedup"));
+        // Bad axis.
+        let err = run(&args(&["sweep", "/nonexistent", "--axis", "x"])).unwrap_err();
+        assert!(err.contains("cannot read"));
+    }
+
+    #[test]
+    fn project_prints_fig20_numbers() {
+        let out = cmd_project();
+        assert!(out.contains("Feed1: Compression"));
+        assert!(out.contains("13.6"), "{out}");
+        assert!(out.contains("g >= 425 B"), "{out}");
+    }
+
+    #[test]
+    fn characterize_runs_profiler() {
+        let out = run(&args(&["characterize", "web", "--samples", "5000"])).unwrap();
+        assert!(out.contains("characterization of Web"));
+        assert!(out.contains("Logging"));
+        let err = run(&args(&["characterize", "nope"])).unwrap_err();
+        assert!(err.contains("unknown service"));
+    }
+
+    #[test]
+    fn bounds_names_the_dominant_term() {
+        let path = write_config();
+        let out = run(&args(&["bounds", &path])).unwrap();
+        fs::remove_file(&path).ok();
+        assert!(out.contains("aes-ni-cache1"), "{out}");
+        assert!(out.contains("accelerator time on host path"), "{out}");
+        assert!(out.contains("ceiling"), "{out}");
+    }
+
+    #[test]
+    fn slo_reports_guardrails() {
+        let path = write_config();
+        let out = run(&args(&["slo", &path])).unwrap();
+        fs::remove_file(&path).ok();
+        assert!(out.contains("MET"), "{out}");
+        assert!(out.contains("max L"), "{out}");
+        // An unreachable SLO reports infeasibility.
+        let path = write_config();
+        let out = run(&args(&["slo", &path, "--min-reduction", "3.0"])).unwrap();
+        fs::remove_file(&path).ok();
+        assert!(out.contains("VIOLATED"), "{out}");
+        assert!(out.contains("infeasible"), "{out}");
+    }
+
+    #[test]
+    fn characterize_folded_emits_collapsed_stacks() {
+        let out = run(&args(&["characterize", "cache1", "--samples", "500", "--folded"])).unwrap();
+        assert!(out.lines().count() > 20, "{out}");
+        let first = out.lines().next().unwrap();
+        assert!(first.contains(';'), "{first}");
+        assert!(first.rsplit(' ').next().unwrap().parse::<u64>().is_ok());
+    }
+
+    #[test]
+    fn timeline_renders_designs() {
+        let out = run(&args(&["timeline", "sync-os"])).unwrap();
+        assert!(out.contains("accelerator"));
+        assert!(run(&args(&["timeline", "bogus"])).is_err());
+    }
+}

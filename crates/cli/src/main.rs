@@ -1,0 +1,17 @@
+//! `accelctl`: the Accelerometer artifact workflow (see crate docs).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match accelerometer_cli::run(&args) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("accelctl: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

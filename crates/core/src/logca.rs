@@ -1,0 +1,186 @@
+//! The LogCA prior model (Altaf & Wood, ISCA'17) that Accelerometer
+//! extends.
+//!
+//! LogCA models a *single* offload of granularity `g` to an accelerator,
+//! assuming the host blocks for the offload's duration (i.e. every offload
+//! is what Accelerometer calls `Sync`). Its five parameters are:
+//!
+//! * `L` — cycles to move data across the interface (latency),
+//! * `o` — host-side setup cycles per offload (overhead),
+//! * `g` — offload granularity in bytes,
+//! * `C` — the *computational index*: host cycles per byte (×`g^β` for
+//!   non-linear kernels), and
+//! * `A` — peak accelerator speedup.
+//!
+//! Accelerometer generalizes LogCA with threading designs and per-window
+//! accounting; when the design is `Sync` and exactly one offload covers
+//! the whole kernel, the two models agree (tested in the integration
+//! suite). Keeping LogCA here gives the benches a faithful prior-work
+//! baseline to compare against.
+
+use serde::{Deserialize, Serialize};
+
+use crate::complexity::{Complexity, KernelCost};
+use crate::units::{Bytes, Cycles, CyclesPerByte};
+
+/// LogCA model parameters for a single kernel offload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogCa {
+    /// `L`: interface latency in cycles (unpipelined: paid per offload).
+    pub latency: Cycles,
+    /// `o`: host-side per-offload setup cycles.
+    pub overhead: Cycles,
+    /// `C`: the computational index in host cycles per byte.
+    pub computational_index: CyclesPerByte,
+    /// `β`: kernel complexity exponent.
+    pub complexity: Complexity,
+    /// `A`: peak accelerator speedup.
+    pub acceleration: f64,
+}
+
+impl LogCa {
+    /// Unaccelerated host time for a `g`-byte kernel: `C·g^β`.
+    #[must_use]
+    pub fn unaccelerated_time(&self, g: Bytes) -> Cycles {
+        self.kernel_cost().host_cycles(g)
+    }
+
+    /// Accelerated time for a `g`-byte kernel:
+    /// `o + L + C·g^β / A` (unpipelined offload, blocking host).
+    #[must_use]
+    pub fn accelerated_time(&self, g: Bytes) -> Cycles {
+        self.overhead + self.latency + self.kernel_cost().accelerator_cycles(g, self.acceleration)
+    }
+
+    /// Speedup for a single `g`-byte offload:
+    /// `C·g^β / (o + L + C·g^β/A)`.
+    #[must_use]
+    pub fn speedup(&self, g: Bytes) -> f64 {
+        self.unaccelerated_time(g) / self.accelerated_time(g)
+    }
+
+    /// The break-even granularity `g₁`: the smallest `g` with speedup 1.
+    ///
+    /// Solves `C·g^β (1 − 1/A) = o + L`. Returns `None` when `A ≤ 1`
+    /// (no granularity ever breaks even).
+    #[must_use]
+    pub fn g1(&self) -> Option<Bytes> {
+        if self.acceleration <= 1.0 {
+            return None;
+        }
+        let denom = self.computational_index.get() * (1.0 - 1.0 / self.acceleration);
+        let target = (self.overhead + self.latency).get() / denom;
+        Some(self.complexity.invert(target))
+    }
+
+    /// The half-peak granularity `g_{A/2}`: the smallest `g` achieving
+    /// half the peak speedup `A/2`.
+    ///
+    /// Solves `speedup(g) = A/2`, i.e. `C·g^β/A = o + L` (the kernel's
+    /// accelerated time equals its offload overhead). Returns `None` when
+    /// `A ≤ 1`.
+    #[must_use]
+    pub fn g_half(&self) -> Option<Bytes> {
+        if self.acceleration <= 1.0 {
+            return None;
+        }
+        let target =
+            self.acceleration * (self.overhead + self.latency).get() / self.computational_index.get();
+        Some(self.complexity.invert(target))
+    }
+
+    /// The asymptotic speedup bound as `g → ∞`, which is simply `A`.
+    #[must_use]
+    pub fn peak_bound(&self) -> f64 {
+        self.acceleration
+    }
+
+    /// Samples the speedup curve at the given granularities, as the LogCA
+    /// paper plots.
+    #[must_use]
+    pub fn speedup_curve(&self, granularities: &[f64]) -> Vec<(f64, f64)> {
+        granularities
+            .iter()
+            .map(|&g| (g, self.speedup(Bytes::new(g))))
+            .collect()
+    }
+
+    fn kernel_cost(&self) -> KernelCost {
+        KernelCost {
+            cycles_per_byte: self.computational_index,
+            complexity: self.complexity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{bytes, cycles, cycles_per_byte};
+
+    fn model() -> LogCa {
+        LogCa {
+            latency: cycles(2_300.0),
+            overhead: cycles(0.0),
+            computational_index: cycles_per_byte(5.62),
+            complexity: Complexity::LINEAR,
+            acceleration: 27.0,
+        }
+    }
+
+    #[test]
+    fn speedup_at_g1_is_one() {
+        let m = model();
+        let g1 = m.g1().unwrap();
+        assert!((m.speedup(g1) - 1.0).abs() < 1e-9);
+        // Matches the Accelerometer off-chip Sync compression break-even
+        // (425 B) since LogCA ≡ Sync.
+        assert!((g1.get() - 425.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn speedup_at_g_half_is_half_peak() {
+        let m = model();
+        let gh = m.g_half().unwrap();
+        assert!((m.speedup(gh) - m.acceleration / 2.0).abs() < 1e-9);
+        assert!(gh > m.g1().unwrap());
+    }
+
+    #[test]
+    fn speedup_approaches_peak_bound() {
+        let m = model();
+        let s = m.speedup(bytes(1e12));
+        assert!(s < m.peak_bound());
+        assert!(s > 0.999 * m.peak_bound());
+    }
+
+    #[test]
+    fn no_breakeven_without_acceleration() {
+        let mut m = model();
+        m.acceleration = 1.0;
+        assert!(m.g1().is_none());
+        assert!(m.g_half().is_none());
+        // Every offload is a pure loss.
+        assert!(m.speedup(bytes(1e9)) < 1.0);
+    }
+
+    #[test]
+    fn curve_is_monotonic_for_linear_kernels() {
+        let m = model();
+        let gs: Vec<f64> = (1..=20).map(|i| 2f64.powi(i)).collect();
+        let curve = m.speedup_curve(&gs);
+        assert_eq!(curve.len(), 20);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1, "speedup dipped at g={}", w[1].0);
+        }
+    }
+
+    #[test]
+    fn accelerated_time_components() {
+        let m = model();
+        let g = bytes(1_000.0);
+        let t = m.accelerated_time(g).get();
+        assert!((t - (2_300.0 + 5.62 * 1_000.0 / 27.0)).abs() < 1e-9);
+        assert!((m.unaccelerated_time(g).get() - 5_620.0).abs() < 1e-9);
+    }
+}

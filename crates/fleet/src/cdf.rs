@@ -1,0 +1,332 @@
+//! Offload-granularity CDF datasets (Figs. 15, 19, 21, 22).
+//!
+//! The paper measures these with `bpftrace` on production hosts; here
+//! they are reconstructed piecewise-linear CDFs. Each dataset is
+//! calibrated against every quantitative statement the paper makes about
+//! it — most importantly the Feed1 compression CDF, whose shape is pinned
+//! by three independent lucrative-offload counts (§5): 64.2% of
+//! compressions ≥ 425 B (n = 9,629 of 15,008 for off-chip Sync),
+//! n = 9,769 above the Async break-even (≈409 B), and n = 3,986 above the
+//! Sync-OS break-even (≈2,456 B).
+
+use accelerometer::GranularityCdf;
+
+use crate::services::ServiceId;
+
+fn cdf(points: &[(f64, f64)]) -> GranularityCdf {
+    GranularityCdf::from_points(points.to_vec()).expect("static CDF data is valid")
+}
+
+/// Fig. 15: CDF of bytes encrypted in Cache1. Encryption sizes start at
+/// ~4 B and "<512 B are frequently encrypted" (90% here).
+#[must_use]
+pub fn cache1_encryption() -> GranularityCdf {
+    cdf(&[
+        (4.0, 0.02),
+        (8.0, 0.07),
+        (16.0, 0.15),
+        (32.0, 0.28),
+        (64.0, 0.45),
+        (128.0, 0.62),
+        (256.0, 0.78),
+        (512.0, 0.90),
+        (1_024.0, 0.95),
+        (2_048.0, 0.98),
+        (4_096.0, 0.99),
+        (8_192.0, 1.0),
+    ])
+}
+
+/// Fig. 19: CDF of bytes compressed in Feed1 — the large-granularity
+/// compressor. Calibrated so the three §5 break-even points select the
+/// paper's lucrative-offload counts (see module docs).
+#[must_use]
+pub fn feed1_compression() -> GranularityCdf {
+    cdf(&[
+        (1.0, 0.02),
+        (64.0, 0.08),
+        (128.0, 0.15),
+        (256.0, 0.262),
+        (512.0, 0.407),
+        (1_024.0, 0.52),
+        (2_048.0, 0.71),
+        (4_096.0, 0.83),
+        (8_192.0, 0.90),
+        (16_384.0, 0.95),
+        (32_768.0, 0.98),
+        (65_536.0, 1.0),
+    ])
+}
+
+/// Fig. 19: CDF of bytes compressed in Cache1, which compresses much
+/// smaller granularities than Feed1 (hence §5 studies Feed1).
+#[must_use]
+pub fn cache1_compression() -> GranularityCdf {
+    cdf(&[
+        (1.0, 0.05),
+        (64.0, 0.30),
+        (128.0, 0.50),
+        (256.0, 0.68),
+        (512.0, 0.82),
+        (1_024.0, 0.90),
+        (2_048.0, 0.95),
+        (4_096.0, 0.98),
+        (8_192.0, 0.99),
+        (16_384.0, 1.0),
+    ])
+}
+
+/// Fig. 21: CDF of memory-copy sizes for one service. Most services copy
+/// small granularities (< 512 B, smaller than a 4 KiB page); a few
+/// percent of copies are zero-length (the `0` bucket in the figure).
+#[must_use]
+pub fn memory_copy(service: ServiceId) -> GranularityCdf {
+    match service {
+        ServiceId::Web => cdf(&[
+            (0.0, 0.04),
+            (64.0, 0.35),
+            (128.0, 0.52),
+            (256.0, 0.68),
+            (512.0, 0.80),
+            (1_024.0, 0.88),
+            (2_048.0, 0.94),
+            (4_096.0, 0.98),
+            (8_192.0, 1.0),
+        ]),
+        ServiceId::Feed1 => cdf(&[
+            (0.0, 0.02),
+            (64.0, 0.25),
+            (128.0, 0.40),
+            (256.0, 0.55),
+            (512.0, 0.70),
+            (1_024.0, 0.82),
+            (2_048.0, 0.92),
+            (4_096.0, 0.97),
+            (8_192.0, 1.0),
+        ]),
+        ServiceId::Feed2 => cdf(&[
+            (0.0, 0.03),
+            (64.0, 0.30),
+            (128.0, 0.48),
+            (256.0, 0.62),
+            (512.0, 0.75),
+            (1_024.0, 0.85),
+            (2_048.0, 0.93),
+            (4_096.0, 0.98),
+            (8_192.0, 1.0),
+        ]),
+        // Ads1 has the highest copy overhead and no zero-length copies;
+        // §5 offloads all of its 1,473,681 copies on-chip.
+        ServiceId::Ads1 => cdf(&[
+            (1.0, 0.10),
+            (64.0, 0.38),
+            (128.0, 0.55),
+            (256.0, 0.70),
+            (512.0, 0.82),
+            (1_024.0, 0.90),
+            (2_048.0, 0.96),
+            (4_096.0, 0.99),
+            (8_192.0, 1.0),
+        ]),
+        ServiceId::Ads2 => cdf(&[
+            (0.0, 0.05),
+            (64.0, 0.40),
+            (128.0, 0.58),
+            (256.0, 0.72),
+            (512.0, 0.83),
+            (1_024.0, 0.91),
+            (2_048.0, 0.96),
+            (4_096.0, 0.99),
+            (8_192.0, 1.0),
+        ]),
+        ServiceId::Cache1 | ServiceId::Cache3 => cdf(&[
+            (0.0, 0.06),
+            (64.0, 0.45),
+            (128.0, 0.62),
+            (256.0, 0.76),
+            (512.0, 0.86),
+            (1_024.0, 0.93),
+            (2_048.0, 0.97),
+            (4_096.0, 0.99),
+            (8_192.0, 1.0),
+        ]),
+        ServiceId::Cache2 => cdf(&[
+            (0.0, 0.08),
+            (64.0, 0.50),
+            (128.0, 0.68),
+            (256.0, 0.80),
+            (512.0, 0.89),
+            (1_024.0, 0.95),
+            (2_048.0, 0.98),
+            (4_096.0, 0.995),
+            (8_192.0, 1.0),
+        ]),
+    }
+}
+
+/// Fig. 22: CDF of memory-allocation sizes for one service; most
+/// allocations are small (typically < 512 B).
+#[must_use]
+pub fn memory_allocation(service: ServiceId) -> GranularityCdf {
+    match service {
+        ServiceId::Web => cdf(&[
+            (0.0, 0.01),
+            (64.0, 0.40),
+            (128.0, 0.60),
+            (256.0, 0.75),
+            (512.0, 0.86),
+            (1_024.0, 0.93),
+            (2_048.0, 0.97),
+            (4_096.0, 0.99),
+            (8_192.0, 1.0),
+        ]),
+        ServiceId::Feed1 => cdf(&[
+            (0.0, 0.01),
+            (64.0, 0.30),
+            (128.0, 0.50),
+            (256.0, 0.68),
+            (512.0, 0.82),
+            (1_024.0, 0.90),
+            (2_048.0, 0.95),
+            (4_096.0, 0.98),
+            (8_192.0, 1.0),
+        ]),
+        ServiceId::Feed2 => cdf(&[
+            (0.0, 0.02),
+            (64.0, 0.35),
+            (128.0, 0.55),
+            (256.0, 0.72),
+            (512.0, 0.84),
+            (1_024.0, 0.92),
+            (2_048.0, 0.96),
+            (4_096.0, 0.99),
+            (8_192.0, 1.0),
+        ]),
+        ServiceId::Ads1 => cdf(&[
+            (0.0, 0.02),
+            (64.0, 0.42),
+            (128.0, 0.62),
+            (256.0, 0.77),
+            (512.0, 0.87),
+            (1_024.0, 0.94),
+            (2_048.0, 0.97),
+            (4_096.0, 0.99),
+            (8_192.0, 1.0),
+        ]),
+        ServiceId::Ads2 => cdf(&[
+            (0.0, 0.01),
+            (64.0, 0.38),
+            (128.0, 0.58),
+            (256.0, 0.74),
+            (512.0, 0.85),
+            (1_024.0, 0.92),
+            (2_048.0, 0.96),
+            (4_096.0, 0.99),
+            (8_192.0, 1.0),
+        ]),
+        // Cache1 has the highest allocation overhead (§5).
+        ServiceId::Cache1 | ServiceId::Cache3 => cdf(&[
+            (0.0, 0.03),
+            (64.0, 0.48),
+            (128.0, 0.66),
+            (256.0, 0.80),
+            (512.0, 0.90),
+            (1_024.0, 0.95),
+            (2_048.0, 0.98),
+            (4_096.0, 0.995),
+            (8_192.0, 1.0),
+        ]),
+        ServiceId::Cache2 => cdf(&[
+            (0.0, 0.04),
+            (64.0, 0.52),
+            (128.0, 0.70),
+            (256.0, 0.83),
+            (512.0, 0.92),
+            (1_024.0, 0.96),
+            (2_048.0, 0.98),
+            (4_096.0, 0.995),
+            (8_192.0, 1.0),
+        ]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accelerometer::units::bytes;
+
+    #[test]
+    fn cache1_encryption_matches_prose() {
+        let c = cache1_encryption();
+        // "Cache1's encryption size is ∼≥ 4 B".
+        assert!(c.fraction_at_or_below(bytes(3.9)) < 0.02);
+        // "<512B are frequently encrypted".
+        assert!(c.fraction_at_or_below(bytes(512.0)) >= 0.85);
+    }
+
+    #[test]
+    fn feed1_compression_calibration_points() {
+        let c = feed1_compression();
+        // 64.2% of compressions are ≥ 425 B (off-chip Sync, n = 9,629).
+        assert!((c.fraction_above(bytes(425.1)) - 0.642).abs() < 0.005);
+        // Async break-even ≈ 409 B → n = 9,769 of 15,008.
+        assert!((c.fraction_above(bytes(409.25)) * 15_008.0 - 9_769.0).abs() < 60.0);
+        // Sync-OS break-even ≈ 2,456 B → n = 3,986 of 15,008.
+        assert!((c.fraction_above(bytes(2_455.5)) * 15_008.0 - 3_986.0).abs() < 60.0);
+    }
+
+    #[test]
+    fn feed1_compresses_larger_than_cache1() {
+        // §5: "Feed1 compresses larger granularities than Cache1".
+        let feed1 = feed1_compression();
+        let cache1 = cache1_compression();
+        for g in [128.0, 256.0, 512.0, 1_024.0, 4_096.0] {
+            assert!(
+                feed1.fraction_at_or_below(bytes(g)) < cache1.fraction_at_or_below(bytes(g)),
+                "at {g} B"
+            );
+        }
+        assert!(feed1.mean_bytes() > cache1.mean_bytes());
+    }
+
+    #[test]
+    fn copies_are_mostly_small() {
+        // Fig. 21: "most microservices frequently copy small
+        // granularities" — over half of copies are < 512 B everywhere.
+        for svc in ServiceId::ALL {
+            let c = memory_copy(svc);
+            assert!(
+                c.fraction_at_or_below(bytes(512.0)) > 0.5,
+                "{svc:?} copies too large"
+            );
+        }
+    }
+
+    #[test]
+    fn allocations_are_mostly_small() {
+        for svc in ServiceId::ALL {
+            let c = memory_allocation(svc);
+            assert!(
+                c.fraction_at_or_below(bytes(512.0)) > 0.8,
+                "{svc:?} allocations too large"
+            );
+        }
+    }
+
+    #[test]
+    fn ads1_copies_have_no_zero_bucket() {
+        let c = memory_copy(ServiceId::Ads1);
+        assert_eq!(c.fraction_at_or_below(bytes(0.0)), 0.0);
+    }
+
+    #[test]
+    fn all_cdfs_reach_one() {
+        for svc in ServiceId::ALL {
+            assert_eq!(memory_copy(svc).fraction_at_or_below(bytes(1e9)), 1.0);
+            assert_eq!(memory_allocation(svc).fraction_at_or_below(bytes(1e9)), 1.0);
+        }
+        assert_eq!(cache1_encryption().fraction_at_or_below(bytes(1e9)), 1.0);
+        assert_eq!(feed1_compression().fraction_at_or_below(bytes(1e9)), 1.0);
+        assert_eq!(cache1_compression().fraction_at_or_below(bytes(1e9)), 1.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Fleet-wide aggregation: weighting the per-service profiles by their
+//! share of the installed base to project fleet-level gains.
+//!
+//! §3's first application: "Data center operators can project fleet-wide
+//! gains from optimizing key service overheads." The seven services
+//! "occupy a large portion of the compute-optimized installed base"; the
+//! weights here are synthetic shares of that base (Web famously the
+//! largest single service).
+
+use serde::{Deserialize, Serialize};
+
+use crate::breakdown::Breakdown;
+use crate::categories::{FunctionalityCategory, LeafCategory};
+use crate::services::{profile, ServiceId};
+
+/// A service's share of the fleet's compute-optimized installed base.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetWeight {
+    /// The service.
+    pub service: ServiceId,
+    /// Fraction of the installed base (0–1) it occupies.
+    pub share: f64,
+}
+
+/// Synthetic installed-base shares for the seven characterized services,
+/// normalized to 1.0 across them (the real shares are proprietary).
+pub const DEFAULT_WEIGHTS: [FleetWeight; 7] = [
+    FleetWeight {
+        service: ServiceId::Web,
+        share: 0.35,
+    },
+    FleetWeight {
+        service: ServiceId::Feed1,
+        share: 0.10,
+    },
+    FleetWeight {
+        service: ServiceId::Feed2,
+        share: 0.12,
+    },
+    FleetWeight {
+        service: ServiceId::Ads1,
+        share: 0.10,
+    },
+    FleetWeight {
+        service: ServiceId::Ads2,
+        share: 0.08,
+    },
+    FleetWeight {
+        service: ServiceId::Cache1,
+        share: 0.13,
+    },
+    FleetWeight {
+        service: ServiceId::Cache2,
+        share: 0.12,
+    },
+];
+
+/// Fleet-wide fraction of cycles spent in a functionality category,
+/// weighted by installed-base share.
+#[must_use]
+pub fn fleet_functionality_fraction(
+    category: FunctionalityCategory,
+    weights: &[FleetWeight],
+) -> f64 {
+    weighted(weights, |id| profile(id).functionality.fraction(category))
+}
+
+/// Fleet-wide fraction of cycles spent in a leaf category.
+#[must_use]
+pub fn fleet_leaf_fraction(category: LeafCategory, weights: &[FleetWeight]) -> f64 {
+    weighted(weights, |id| profile(id).leaves.fraction(category))
+}
+
+/// Fleet-wide throughput gain if each service independently achieves the
+/// given per-service speedup, weighted by installed base: the harmonic
+/// composition `1 / Σ wᵢ/Sᵢ`.
+///
+/// This is how "accelerating common overheads can provide fleet-wide
+/// wins" (Table 4) is quantified: freed cycles translate into servers the
+/// fleet does not have to buy.
+#[must_use]
+pub fn fleet_speedup(per_service: &[(ServiceId, f64)], weights: &[FleetWeight]) -> f64 {
+    let total: f64 = weights.iter().map(|w| w.share).sum();
+    if total <= 0.0 {
+        return 1.0;
+    }
+    let inv: f64 = weights
+        .iter()
+        .map(|w| {
+            let speedup = per_service
+                .iter()
+                .find(|(id, _)| *id == w.service)
+                .map_or(1.0, |(_, s)| *s);
+            w.share / speedup
+        })
+        .sum();
+    total / inv
+}
+
+/// The fleet-weighted functionality breakdown (a synthetic "all seven
+/// services" bar for Fig. 9).
+#[must_use]
+pub fn fleet_functionality_breakdown(weights: &[FleetWeight]) -> Breakdown<FunctionalityCategory> {
+    let entries: Vec<(FunctionalityCategory, f64)> = FunctionalityCategory::ALL
+        .iter()
+        .map(|&c| (c, 100.0 * fleet_functionality_fraction(c, weights)))
+        .filter(|(_, p)| *p > 0.0)
+        .collect();
+    Breakdown::complete(entries).expect("weighted complete breakdowns stay complete")
+}
+
+fn weighted(weights: &[FleetWeight], f: impl Fn(ServiceId) -> f64) -> f64 {
+    let total: f64 = weights.iter().map(|w| w.share).sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    weights.iter().map(|w| w.share * f(w.service)).sum::<f64>() / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_weights_sum_to_one() {
+        let total: f64 = DEFAULT_WEIGHTS.iter().map(|w| w.share).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fleet_functionality_breakdown_is_complete() {
+        let b = fleet_functionality_breakdown(&DEFAULT_WEIGHTS);
+        assert!((b.total_percent() - 100.0).abs() < 1e-6);
+        // Orchestration dominates fleet-wide, the paper's core message.
+        let core = b.percent_where(FunctionalityCategory::is_core);
+        assert!(core < 50.0, "fleet core share {core}");
+    }
+
+    #[test]
+    fn common_overheads_are_fleet_significant() {
+        // Table 4: compression, serialization, and I/O are common
+        // overheads worth fleet-wide investment.
+        let io = fleet_functionality_fraction(FunctionalityCategory::SecureInsecureIo, &DEFAULT_WEIGHTS);
+        let comp = fleet_functionality_fraction(FunctionalityCategory::Compression, &DEFAULT_WEIGHTS);
+        let ser = fleet_functionality_fraction(FunctionalityCategory::Serialization, &DEFAULT_WEIGHTS);
+        assert!(io > 0.10);
+        assert!(comp > 0.05);
+        assert!(ser > 0.05);
+    }
+
+    #[test]
+    fn fleet_memory_leaf_share_is_significant() {
+        let mem = fleet_leaf_fraction(LeafCategory::Memory, &DEFAULT_WEIGHTS);
+        assert!(mem > 0.15 && mem < 0.40, "fleet memory {mem}");
+    }
+
+    #[test]
+    fn fleet_speedup_identity_when_nothing_accelerated() {
+        assert_eq!(fleet_speedup(&[], &DEFAULT_WEIGHTS), 1.0);
+        assert_eq!(fleet_speedup(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn fleet_speedup_weights_by_share() {
+        // Speeding up only Web (35% of the fleet) by 2× yields
+        // 1/(0.35/2 + 0.65) = 1.2121×.
+        let s = fleet_speedup(&[(ServiceId::Web, 2.0)], &DEFAULT_WEIGHTS);
+        assert!((s - 1.0 / (0.35 / 2.0 + 0.65)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_speedup_is_preserved() {
+        let per: Vec<(ServiceId, f64)> = ServiceId::CHARACTERIZED
+            .iter()
+            .map(|&id| (id, 1.5))
+            .collect();
+        let s = fleet_speedup(&per, &DEFAULT_WEIGHTS);
+        assert!((s - 1.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,190 @@
+//! IPC-scaling datasets (Figs. 8 and 10): Cache1's per-core IPC across
+//! three CPU generations, for key leaf categories and key functionality
+//! categories.
+//!
+//! Reconstructed to satisfy §2.3.5 and §2.4.1: every leaf category uses
+//! less than half the theoretical execution bandwidth (peak IPC 4.0);
+//! kernel IPC is low (<0.5) and scales poorly; C-library IPC scales well;
+//! GenB→GenC gains are small except for C libraries; I/O IPC is low and
+//! flat (driven by kernel IPC); key-value (application-logic) IPC barely
+//! improves because it is memory-bound.
+
+use serde::{Deserialize, Serialize};
+
+use crate::categories::{FunctionalityCategory, LeafCategory};
+use crate::platform::CpuGeneration;
+
+/// IPC of one category across the three generations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IpcScaling {
+    /// IPC on GenA (Haswell).
+    pub gen_a: f64,
+    /// IPC on GenB (Broadwell).
+    pub gen_b: f64,
+    /// IPC on GenC (Skylake).
+    pub gen_c: f64,
+}
+
+impl IpcScaling {
+    /// IPC for a specific generation.
+    #[must_use]
+    pub fn for_generation(&self, generation: CpuGeneration) -> f64 {
+        match generation {
+            CpuGeneration::GenA => self.gen_a,
+            CpuGeneration::GenB => self.gen_b,
+            CpuGeneration::GenC => self.gen_c,
+        }
+    }
+
+    /// Relative IPC improvement across the full GenA→GenC span.
+    #[must_use]
+    pub fn total_scaling(&self) -> f64 {
+        self.gen_c / self.gen_a
+    }
+
+    /// Relative IPC improvement from GenB to GenC (the paper notes this
+    /// step is typically small).
+    #[must_use]
+    pub fn genb_to_genc_scaling(&self) -> f64 {
+        self.gen_c / self.gen_b
+    }
+}
+
+/// Fig. 8: Cache1's per-core IPC for key leaf categories. Returns `None`
+/// for leaf categories the figure does not cover.
+#[must_use]
+pub fn cache1_leaf_ipc(category: LeafCategory) -> Option<IpcScaling> {
+    let s = |gen_a, gen_b, gen_c| Some(IpcScaling { gen_a, gen_b, gen_c });
+    match category {
+        LeafCategory::Memory => s(0.82, 0.95, 1.00),
+        LeafCategory::Kernel => s(0.35, 0.37, 0.38),
+        LeafCategory::Zstd => s(1.10, 1.30, 1.38),
+        LeafCategory::Ssl => s(0.95, 1.20, 1.28),
+        LeafCategory::CLibraries => s(1.05, 1.45, 1.85),
+        _ => None,
+    }
+}
+
+/// The leaf categories Fig. 8 covers, in presentation order.
+pub const FIG8_CATEGORIES: [LeafCategory; 5] = [
+    LeafCategory::Memory,
+    LeafCategory::Kernel,
+    LeafCategory::Zstd,
+    LeafCategory::Ssl,
+    LeafCategory::CLibraries,
+];
+
+/// Fig. 10: Cache1's per-core IPC for key functionality categories.
+/// Returns `None` for categories the figure does not cover.
+#[must_use]
+pub fn cache1_functionality_ipc(category: FunctionalityCategory) -> Option<IpcScaling> {
+    let s = |gen_a, gen_b, gen_c| Some(IpcScaling { gen_a, gen_b, gen_c });
+    match category {
+        FunctionalityCategory::SecureInsecureIo => s(0.38, 0.40, 0.41),
+        FunctionalityCategory::IoPrePostProcessing => s(0.60, 0.68, 0.72),
+        FunctionalityCategory::Serialization => s(0.65, 0.74, 0.79),
+        FunctionalityCategory::ApplicationLogic => s(0.52, 0.56, 0.58),
+        _ => None,
+    }
+}
+
+/// The functionality categories Fig. 10 covers, in presentation order.
+pub const FIG10_CATEGORIES: [FunctionalityCategory; 4] = [
+    FunctionalityCategory::SecureInsecureIo,
+    FunctionalityCategory::IoPrePostProcessing,
+    FunctionalityCategory::Serialization,
+    FunctionalityCategory::ApplicationLogic,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_leaf_ipc_below_half_peak() {
+        // §2.3.5: "Each leaf function type uses less than half of the
+        // theoretical execution bandwidth of a GenC CPU (peak 4.0)".
+        for cat in FIG8_CATEGORIES {
+            let ipc = cache1_leaf_ipc(cat).unwrap();
+            for generation in CpuGeneration::ALL {
+                assert!(
+                    ipc.for_generation(generation) < 2.0,
+                    "{cat:?} on {generation} exceeds half peak"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_ipc_is_low_and_scales_poorly() {
+        let kernel = cache1_leaf_ipc(LeafCategory::Kernel).unwrap();
+        assert!(kernel.gen_c < 0.5);
+        assert!(kernel.total_scaling() < 1.15);
+    }
+
+    #[test]
+    fn c_libraries_scale_well() {
+        let clib = cache1_leaf_ipc(LeafCategory::CLibraries).unwrap();
+        assert!(clib.total_scaling() > 1.5);
+        // And they dominate every other category's scaling.
+        for cat in FIG8_CATEGORIES {
+            if cat != LeafCategory::CLibraries {
+                assert!(cache1_leaf_ipc(cat).unwrap().total_scaling() < clib.total_scaling());
+            }
+        }
+    }
+
+    #[test]
+    fn genb_to_genc_gain_is_small_except_clib() {
+        for cat in FIG8_CATEGORIES {
+            let scaling = cache1_leaf_ipc(cat).unwrap().genb_to_genc_scaling();
+            if cat == LeafCategory::CLibraries {
+                assert!(scaling > 1.2);
+            } else {
+                assert!(scaling < 1.12, "{cat:?} GenB→GenC gain too large: {scaling}");
+            }
+        }
+    }
+
+    #[test]
+    fn io_ipc_tracks_kernel_ipc() {
+        // §2.4.1: the low I/O IPC is primarily due to the low kernel IPC.
+        let io = cache1_functionality_ipc(FunctionalityCategory::SecureInsecureIo).unwrap();
+        let kernel = cache1_leaf_ipc(LeafCategory::Kernel).unwrap();
+        for generation in CpuGeneration::ALL {
+            assert!((io.for_generation(generation) - kernel.for_generation(generation)).abs() < 0.1);
+        }
+        assert!(io.total_scaling() < 1.1);
+    }
+
+    #[test]
+    fn key_value_store_ipc_barely_improves() {
+        // §2.4.1: memory-bound key-value serving sees little IPC gain.
+        let app = cache1_functionality_ipc(FunctionalityCategory::ApplicationLogic).unwrap();
+        assert!(app.total_scaling() < 1.15);
+        let memory = cache1_leaf_ipc(LeafCategory::Memory).unwrap();
+        assert!(app.gen_c < memory.gen_c);
+    }
+
+    #[test]
+    fn uncovered_categories_return_none() {
+        assert!(cache1_leaf_ipc(LeafCategory::Math).is_none());
+        assert!(cache1_leaf_ipc(LeafCategory::Miscellaneous).is_none());
+        assert!(cache1_functionality_ipc(FunctionalityCategory::Logging).is_none());
+        assert!(cache1_functionality_ipc(FunctionalityCategory::Compression).is_none());
+    }
+
+    #[test]
+    fn ipc_never_decreases_across_generations() {
+        for cat in FIG8_CATEGORIES {
+            let ipc = cache1_leaf_ipc(cat).unwrap();
+            assert!(ipc.gen_b >= ipc.gen_a);
+            assert!(ipc.gen_c >= ipc.gen_b);
+        }
+        for cat in FIG10_CATEGORIES {
+            let ipc = cache1_functionality_ipc(cat).unwrap();
+            assert!(ipc.gen_b >= ipc.gen_a);
+            assert!(ipc.gen_c >= ipc.gen_b);
+        }
+    }
+}

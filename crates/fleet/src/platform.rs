@@ -1,0 +1,189 @@
+//! CPU platforms (Table 1): the three server generations the paper's IPC
+//! scaling study spans.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A CPU generation in the paper's fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum CpuGeneration {
+    /// GenA: Intel Haswell.
+    GenA,
+    /// GenB: Intel Broadwell.
+    GenB,
+    /// GenC: Intel Skylake (the generation the characterization ran on).
+    GenC,
+}
+
+impl CpuGeneration {
+    /// All generations, oldest first.
+    pub const ALL: [CpuGeneration; 3] =
+        [CpuGeneration::GenA, CpuGeneration::GenB, CpuGeneration::GenC];
+
+    /// The microarchitecture name.
+    #[must_use]
+    pub fn microarchitecture(self) -> &'static str {
+        match self {
+            CpuGeneration::GenA => "Intel Haswell",
+            CpuGeneration::GenB => "Intel Broadwell",
+            CpuGeneration::GenC => "Intel Skylake",
+        }
+    }
+
+    /// Theoretical peak IPC per core (§2.3.5 quotes 4.0 for GenC; all
+    /// three generations are 4-wide at retirement).
+    #[must_use]
+    pub fn peak_ipc(self) -> f64 {
+        4.0
+    }
+}
+
+impl fmt::Display for CpuGeneration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            CpuGeneration::GenA => "GenA",
+            CpuGeneration::GenB => "GenB",
+            CpuGeneration::GenC => "GenC",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A concrete platform configuration from Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuPlatform {
+    /// The generation.
+    pub generation: CpuGeneration,
+    /// Physical cores per socket.
+    pub cores_per_socket: u32,
+    /// SMT ways per core.
+    pub smt: u32,
+    /// Cache-block size in bytes.
+    pub cache_block_bytes: u32,
+    /// Per-core L1 instruction cache in KiB.
+    pub l1i_kib: u32,
+    /// Per-core L1 data cache in KiB.
+    pub l1d_kib: u32,
+    /// Per-core private L2 in KiB.
+    pub l2_kib: u32,
+    /// Shared last-level cache in KiB.
+    pub llc_kib: u32,
+}
+
+impl CpuPlatform {
+    /// Hardware threads per socket.
+    #[must_use]
+    pub fn hardware_threads(&self) -> u32 {
+        self.cores_per_socket * self.smt
+    }
+
+    /// Shared LLC per core, in KiB.
+    #[must_use]
+    pub fn llc_per_core_kib(&self) -> f64 {
+        f64::from(self.llc_kib) / f64::from(self.cores_per_socket)
+    }
+}
+
+/// Table 1, column GenA: 12-core Haswell.
+pub const GEN_A: CpuPlatform = CpuPlatform {
+    generation: CpuGeneration::GenA,
+    cores_per_socket: 12,
+    smt: 2,
+    cache_block_bytes: 64,
+    l1i_kib: 32,
+    l1d_kib: 32,
+    l2_kib: 256,
+    llc_kib: 30 * 1024,
+};
+
+/// Table 1, column GenB: 16-core Broadwell.
+pub const GEN_B: CpuPlatform = CpuPlatform {
+    generation: CpuGeneration::GenB,
+    cores_per_socket: 16,
+    smt: 2,
+    cache_block_bytes: 64,
+    l1i_kib: 32,
+    l1d_kib: 32,
+    l2_kib: 256,
+    llc_kib: 24 * 1024,
+};
+
+/// Table 1, GenC variant 1: the 18-core Skylake running Web, Feed1,
+/// Feed2, and Ads1 (24.75 MiB LLC).
+pub const GEN_C_18: CpuPlatform = CpuPlatform {
+    generation: CpuGeneration::GenC,
+    cores_per_socket: 18,
+    smt: 2,
+    cache_block_bytes: 64,
+    l1i_kib: 32,
+    l1d_kib: 32,
+    l2_kib: 1024,
+    llc_kib: 25_344, // 24.75 MiB
+};
+
+/// Table 1, GenC variant 2: the 20-core Skylake running Ads2, Cache1, and
+/// Cache2 (27 MiB LLC).
+pub const GEN_C_20: CpuPlatform = CpuPlatform {
+    generation: CpuGeneration::GenC,
+    cores_per_socket: 20,
+    smt: 2,
+    cache_block_bytes: 64,
+    l1i_kib: 32,
+    l1d_kib: 32,
+    l2_kib: 1024,
+    llc_kib: 27 * 1024,
+};
+
+/// All Table 1 platforms in presentation order.
+pub const ALL_PLATFORMS: [CpuPlatform; 4] = [GEN_A, GEN_B, GEN_C_18, GEN_C_20];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_core_counts() {
+        assert_eq!(GEN_A.cores_per_socket, 12);
+        assert_eq!(GEN_B.cores_per_socket, 16);
+        assert_eq!(GEN_C_18.cores_per_socket, 18);
+        assert_eq!(GEN_C_20.cores_per_socket, 20);
+    }
+
+    #[test]
+    fn table1_cache_hierarchy() {
+        // Skylake grew the private L2 to 1 MiB.
+        assert_eq!(GEN_A.l2_kib, 256);
+        assert_eq!(GEN_B.l2_kib, 256);
+        assert_eq!(GEN_C_18.l2_kib, 1024);
+        // LLC sizes.
+        assert_eq!(GEN_A.llc_kib, 30 * 1024);
+        assert_eq!(GEN_B.llc_kib, 24 * 1024);
+        assert_eq!(GEN_C_18.llc_kib as f64 / 1024.0, 24.75);
+        assert_eq!(GEN_C_20.llc_kib, 27 * 1024);
+    }
+
+    #[test]
+    fn smt_doubles_hardware_threads() {
+        for p in ALL_PLATFORMS {
+            assert_eq!(p.smt, 2);
+            assert_eq!(p.hardware_threads(), p.cores_per_socket * 2);
+            assert_eq!(p.cache_block_bytes, 64);
+        }
+    }
+
+    #[test]
+    fn llc_per_core_shrinks_across_generations() {
+        assert!(GEN_A.llc_per_core_kib() > GEN_B.llc_per_core_kib());
+        assert!(GEN_B.llc_per_core_kib() > GEN_C_20.llc_per_core_kib());
+    }
+
+    #[test]
+    fn generation_metadata() {
+        assert_eq!(CpuGeneration::GenA.microarchitecture(), "Intel Haswell");
+        assert_eq!(CpuGeneration::GenC.to_string(), "GenC");
+        assert_eq!(CpuGeneration::GenC.peak_ipc(), 4.0);
+        assert!(CpuGeneration::GenA < CpuGeneration::GenC);
+    }
+}

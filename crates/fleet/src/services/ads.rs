@@ -1,0 +1,158 @@
+//! Ads1 and Ads2: the ad-serving microservices (§2.1).
+
+use crate::categories::{
+    CLibOp, CopyOrigin, FunctionalityCategory as F, KernelOp, LeafCategory as L, MemoryOp,
+    SyncPrimitive,
+};
+use crate::platform::{GEN_C_18, GEN_C_20};
+use crate::services::{bd, ServiceId, ServiceProfile, ServiceRates};
+
+/// Ads1 (§2.1): the ads user-data service. Constraints: inference is 52%
+/// of cycles (Table 6's remote-inference `α = 0.52`); memory leaves 28%
+/// with a 54% copy share so the total copy fraction is exactly Table 7's
+/// `α = 0.1512` with 1,473,681 copies/s; highest copy overhead of the
+/// seven (§5); high thread-pool overhead (§2.4).
+pub(super) fn ads1() -> ServiceProfile {
+    ServiceProfile {
+        id: ServiceId::Ads1,
+        functionality: bd(&[
+            (F::SecureInsecureIo, 9.0),
+            (F::IoPrePostProcessing, 2.0),
+            (F::Compression, 3.0),
+            (F::Serialization, 6.0),
+            (F::FeatureExtraction, 8.0),
+            (F::PredictionRanking, 52.0),
+            (F::ApplicationLogic, 6.0),
+            (F::ThreadPoolManagement, 9.0),
+            (F::Miscellaneous, 5.0),
+        ]),
+        leaves: bd(&[
+            (L::Memory, 28.0),
+            (L::Kernel, 11.0),
+            (L::Hashing, 2.0),
+            (L::Synchronization, 3.0),
+            (L::Zstd, 2.0),
+            (L::Math, 10.0),
+            (L::Ssl, 2.0),
+            (L::CLibraries, 17.0),
+            (L::Miscellaneous, 25.0),
+        ]),
+        memory_ops: bd(&[
+            (MemoryOp::Copy, 54.0),
+            (MemoryOp::Free, 15.0),
+            (MemoryOp::Allocation, 18.0),
+            (MemoryOp::Move, 6.0),
+            (MemoryOp::Set, 4.0),
+            (MemoryOp::Compare, 3.0),
+        ]),
+        copy_origins: bd(&[
+            (CopyOrigin::SecureInsecureIo, 17.0),
+            (CopyOrigin::IoPrePostProcessing, 9.0),
+            (CopyOrigin::Serialization, 50.0),
+            (CopyOrigin::ApplicationLogic, 24.0),
+        ]),
+        kernel_ops: bd(&[
+            (KernelOp::Scheduler, 19.0),
+            (KernelOp::EventHandling, 20.0),
+            (KernelOp::Network, 17.0),
+            (KernelOp::Synchronization, 7.0),
+            (KernelOp::MemoryManagement, 10.0),
+            (KernelOp::Miscellaneous, 27.0),
+        ]),
+        sync_ops: bd(&[
+            (SyncPrimitive::Atomics, 41.0),
+            (SyncPrimitive::Mutex, 59.0),
+        ]),
+        clib_ops: bd(&[
+            (CLibOp::StdAlgorithms, 19.0),
+            (CLibOp::CtorsDtors, 11.0),
+            (CLibOp::Strings, 6.0),
+            (CLibOp::HashTables, 13.0),
+            (CLibOp::Vectors, 32.0),
+            (CLibOp::OperatorOverride, 11.0),
+            (CLibOp::Miscellaneous, 8.0),
+        ]),
+        rates: ServiceRates {
+            host_cycles_per_second: 2.3e9,
+            compressions_per_second: 4_800.0,
+            copies_per_second: 1_473_681.0,
+            allocations_per_second: 120_000.0,
+            encryptions_per_second: 25_000.0,
+        },
+        platform: GEN_C_18,
+    }
+}
+
+/// Ads2 (§2.1): the ads ad-data service. Constraints: math leaves at the
+/// §2.3 "up to 13%" bound for ML services; memory 28%; vector-heavy C
+/// libraries.
+pub(super) fn ads2() -> ServiceProfile {
+    ServiceProfile {
+        id: ServiceId::Ads2,
+        functionality: bd(&[
+            (F::SecureInsecureIo, 10.0),
+            (F::IoPrePostProcessing, 3.0),
+            (F::Compression, 2.0),
+            (F::Serialization, 8.0),
+            (F::FeatureExtraction, 15.0),
+            (F::PredictionRanking, 40.0),
+            (F::ApplicationLogic, 17.0),
+            (F::ThreadPoolManagement, 4.0),
+            (F::Miscellaneous, 1.0),
+        ]),
+        leaves: bd(&[
+            (L::Memory, 28.0),
+            (L::Kernel, 4.0),
+            (L::Hashing, 2.0),
+            (L::Synchronization, 5.0),
+            (L::Zstd, 1.0),
+            (L::Math, 13.0),
+            (L::CLibraries, 42.0),
+            (L::Miscellaneous, 5.0),
+        ]),
+        memory_ops: bd(&[
+            (MemoryOp::Copy, 43.0),
+            (MemoryOp::Free, 21.0),
+            (MemoryOp::Allocation, 20.0),
+            (MemoryOp::Move, 7.0),
+            (MemoryOp::Set, 5.0),
+            (MemoryOp::Compare, 4.0),
+        ]),
+        copy_origins: bd(&[
+            (CopyOrigin::SecureInsecureIo, 13.0),
+            (CopyOrigin::IoPrePostProcessing, 7.0),
+            (CopyOrigin::Serialization, 38.0),
+            (CopyOrigin::ApplicationLogic, 42.0),
+        ]),
+        kernel_ops: bd(&[
+            (KernelOp::Scheduler, 47.0),
+            (KernelOp::EventHandling, 9.0),
+            (KernelOp::Network, 18.0),
+            (KernelOp::Synchronization, 16.0),
+            (KernelOp::MemoryManagement, 10.0),
+        ]),
+        sync_ops: bd(&[
+            (SyncPrimitive::Atomics, 50.0),
+            (SyncPrimitive::Mutex, 50.0),
+        ]),
+        clib_ops: bd(&[
+            (CLibOp::StdAlgorithms, 8.0),
+            (CLibOp::CtorsDtors, 3.0),
+            (CLibOp::Strings, 6.0),
+            (CLibOp::HashTables, 10.0),
+            (CLibOp::Vectors, 53.0),
+            (CLibOp::Trees, 6.0),
+            (CLibOp::OperatorOverride, 6.0),
+            (CLibOp::Miscellaneous, 8.0),
+        ]),
+        rates: ServiceRates {
+            host_cycles_per_second: 2.4e9,
+            compressions_per_second: 3_200.0,
+            copies_per_second: 800_000.0,
+            allocations_per_second: 110_000.0,
+            encryptions_per_second: 18_000.0,
+        },
+        platform: GEN_C_20,
+    }
+}
+

@@ -1,0 +1,197 @@
+//! Cache1, Cache2, and Cache3: the caching microservices (§2.1, §4).
+
+use crate::categories::{
+    CLibOp, CopyOrigin, FunctionalityCategory as F, KernelOp, LeafCategory as L, MemoryOp,
+    SyncPrimitive,
+};
+use crate::platform::GEN_C_20;
+use crate::services::{bd, ServiceId, ServiceProfile, ServiceRates};
+
+/// Cache1 (§2.1): the cache mid tier. Constraints: encryption (secure
+/// I/O) is 16.58% of cycles with 298,951 encryptions/s (Table 6's AES-NI
+/// `α = 0.165844`); 6% of cycles in SSL leaves (§2.3); memory 26% with a
+/// 21% allocation share so the allocation fraction is ≈ Table 7's
+/// `α = 0.055` with 51,695 allocations/s; high kernel share with frequent
+/// scheduler invocations (§2.3.2); 19% synchronization dominated by spin
+/// locks (§2.3.3); compression + serialization overheads dominate the
+/// abstract's cache discussion.
+pub(super) fn cache1() -> ServiceProfile {
+    ServiceProfile {
+        id: ServiceId::Cache1,
+        functionality: bd(&[
+            (F::SecureInsecureIo, 42.0),
+            (F::IoPrePostProcessing, 12.0),
+            (F::Compression, 10.0),
+            (F::Serialization, 13.0),
+            (F::ApplicationLogic, 14.0),
+            (F::ThreadPoolManagement, 7.0),
+            (F::Miscellaneous, 2.0),
+        ]),
+        leaves: bd(&[
+            (L::Memory, 26.0),
+            (L::Kernel, 22.0),
+            (L::Hashing, 4.0),
+            (L::Synchronization, 19.0),
+            (L::Zstd, 7.0),
+            (L::Ssl, 6.0),
+            (L::CLibraries, 13.0),
+            (L::Miscellaneous, 3.0),
+        ]),
+        memory_ops: bd(&[
+            (MemoryOp::Copy, 46.0),
+            (MemoryOp::Free, 18.0),
+            (MemoryOp::Allocation, 21.0),
+            (MemoryOp::Move, 5.0),
+            (MemoryOp::Set, 6.0),
+            (MemoryOp::Compare, 4.0),
+        ]),
+        copy_origins: bd(&[
+            (CopyOrigin::SecureInsecureIo, 36.0),
+            (CopyOrigin::IoPrePostProcessing, 8.0),
+            (CopyOrigin::Serialization, 10.0),
+            (CopyOrigin::ApplicationLogic, 46.0),
+        ]),
+        kernel_ops: bd(&[
+            (KernelOp::Scheduler, 30.0),
+            (KernelOp::EventHandling, 20.0),
+            (KernelOp::Network, 23.0),
+            (KernelOp::Synchronization, 12.0),
+            (KernelOp::MemoryManagement, 8.0),
+            (KernelOp::Miscellaneous, 7.0),
+        ]),
+        sync_ops: bd(&[
+            (SyncPrimitive::Atomics, 10.0),
+            (SyncPrimitive::Mutex, 20.0),
+            (SyncPrimitive::SpinLock, 70.0),
+        ]),
+        clib_ops: bd(&[
+            (CLibOp::StdAlgorithms, 3.0),
+            (CLibOp::CtorsDtors, 2.0),
+            (CLibOp::Strings, 18.0),
+            (CLibOp::HashTables, 47.0),
+            (CLibOp::Vectors, 16.0),
+            (CLibOp::OperatorOverride, 6.0),
+            (CLibOp::Miscellaneous, 8.0),
+        ]),
+        rates: ServiceRates {
+            host_cycles_per_second: 2.0e9,
+            compressions_per_second: 21_000.0,
+            copies_per_second: 750_000.0,
+            allocations_per_second: 51_695.0,
+            encryptions_per_second: 298_951.0,
+        },
+        platform: GEN_C_20,
+    }
+}
+
+/// Cache2 (§2.1): the cache front tier. Constraints: 52% of cycles
+/// sending/receiving I/O (abstract); the highest kernel share (44%) with
+/// significant network-stack time (§2.3.2); spin-lock-heavy
+/// synchronization; copies dominated by the network protocol stack
+/// (§2.3.1's "Cache2 can gain from fewer copies in network protocol
+/// stacks").
+pub(super) fn cache2() -> ServiceProfile {
+    ServiceProfile {
+        id: ServiceId::Cache2,
+        functionality: bd(&[
+            (F::SecureInsecureIo, 52.0),
+            (F::IoPrePostProcessing, 12.0),
+            (F::Compression, 5.0),
+            (F::Serialization, 12.0),
+            (F::ApplicationLogic, 12.0),
+            (F::ThreadPoolManagement, 3.0),
+            (F::Miscellaneous, 4.0),
+        ]),
+        leaves: bd(&[
+            (L::Memory, 19.0),
+            (L::Kernel, 44.0),
+            (L::Hashing, 3.0),
+            (L::Synchronization, 10.0),
+            (L::Zstd, 4.0),
+            (L::Ssl, 3.0),
+            (L::CLibraries, 10.0),
+            (L::Miscellaneous, 7.0),
+        ]),
+        memory_ops: bd(&[
+            (MemoryOp::Copy, 58.0),
+            (MemoryOp::Free, 16.0),
+            (MemoryOp::Allocation, 12.0),
+            (MemoryOp::Move, 5.0),
+            (MemoryOp::Set, 5.0),
+            (MemoryOp::Compare, 4.0),
+        ]),
+        copy_origins: bd(&[
+            (CopyOrigin::SecureInsecureIo, 50.0),
+            (CopyOrigin::IoPrePostProcessing, 8.0),
+            (CopyOrigin::Serialization, 13.0),
+            (CopyOrigin::ApplicationLogic, 29.0),
+        ]),
+        kernel_ops: bd(&[
+            (KernelOp::Scheduler, 32.0),
+            (KernelOp::EventHandling, 10.0),
+            (KernelOp::Network, 31.0),
+            (KernelOp::Synchronization, 7.0),
+            (KernelOp::MemoryManagement, 10.0),
+            (KernelOp::Miscellaneous, 10.0),
+        ]),
+        sync_ops: bd(&[
+            (SyncPrimitive::Atomics, 5.0),
+            (SyncPrimitive::Mutex, 9.0),
+            (SyncPrimitive::SpinLock, 86.0),
+        ]),
+        clib_ops: bd(&[
+            (CLibOp::StdAlgorithms, 5.0),
+            (CLibOp::CtorsDtors, 5.0),
+            (CLibOp::Strings, 13.0),
+            (CLibOp::HashTables, 60.0),
+            (CLibOp::OperatorOverride, 2.0),
+            (CLibOp::Miscellaneous, 15.0),
+        ]),
+        rates: ServiceRates {
+            host_cycles_per_second: 2.1e9,
+            compressions_per_second: 14_000.0,
+            copies_per_second: 950_000.0,
+            allocations_per_second: 48_000.0,
+            encryptions_per_second: 200_000.0,
+        },
+        platform: GEN_C_20,
+    }
+}
+
+/// Cache3 (§4, case study 2): a caching service similar to Cache1 and
+/// Cache2. Constraints: encryption (secure I/O share) is 19.15% of cycles
+/// (Table 6's `α = 0.19154`) with 101,863 encryptions/s; Fig. 17's legend
+/// shows no compression category.
+pub(super) fn cache3() -> ServiceProfile {
+    let base = cache1();
+    ServiceProfile {
+        id: ServiceId::Cache3,
+        functionality: bd(&[
+            (F::SecureInsecureIo, 48.0),
+            (F::IoPrePostProcessing, 14.0),
+            (F::Serialization, 14.0),
+            (F::ApplicationLogic, 16.0),
+            (F::ThreadPoolManagement, 6.0),
+            (F::Miscellaneous, 2.0),
+        ]),
+        leaves: bd(&[
+            (L::Memory, 24.0),
+            (L::Kernel, 25.0),
+            (L::Hashing, 4.0),
+            (L::Synchronization, 16.0),
+            (L::Ssl, 8.0),
+            (L::CLibraries, 15.0),
+            (L::Miscellaneous, 8.0),
+        ]),
+        rates: ServiceRates {
+            host_cycles_per_second: 2.3e9,
+            compressions_per_second: 0.0,
+            copies_per_second: 700_000.0,
+            allocations_per_second: 45_000.0,
+            encryptions_per_second: 101_863.0,
+        },
+        platform: GEN_C_20,
+        ..base
+    }
+}
+

@@ -1,0 +1,160 @@
+//! Feed1 and Feed2: the News Feed microservices (§2.1).
+
+use crate::categories::{
+    CLibOp, CopyOrigin, FunctionalityCategory as F, KernelOp, LeafCategory as L, MemoryOp,
+    SyncPrimitive,
+};
+use crate::platform::GEN_C_18;
+use crate::services::{bd, ServiceId, ServiceProfile, ServiceRates};
+
+/// Feed1 (§2.1): News Feed ranking. Constraints: 15% of cycles in
+/// compression with 15,008 compressions/s (Table 7); inference-dominated
+/// (58% → an infinite inference accelerator yields 2.38×, the §2.4 upper
+/// bound) with the remaining 42% orchestrating it (the low end of §2.4's
+/// 42%–67% range); memory leaves only 8%, three quarters of which are
+/// copies so the Fig. 4 net copy share is ≈6%; high thread-pool overhead
+/// (§2.4).
+pub(super) fn feed1() -> ServiceProfile {
+    ServiceProfile {
+        id: ServiceId::Feed1,
+        functionality: bd(&[
+            (F::SecureInsecureIo, 8.0),
+            (F::IoPrePostProcessing, 3.0),
+            (F::Compression, 15.0),
+            (F::Serialization, 6.0),
+            (F::PredictionRanking, 58.0),
+            (F::ThreadPoolManagement, 5.0),
+            (F::Miscellaneous, 5.0),
+        ]),
+        leaves: bd(&[
+            (L::Memory, 8.0),
+            (L::Kernel, 3.0),
+            (L::Hashing, 1.0),
+            (L::Synchronization, 1.0),
+            (L::Zstd, 11.0),
+            (L::Math, 37.0),
+            (L::CLibraries, 5.0),
+            (L::Miscellaneous, 34.0),
+        ]),
+        memory_ops: bd(&[
+            (MemoryOp::Copy, 73.0),
+            (MemoryOp::Free, 10.0),
+            (MemoryOp::Allocation, 9.0),
+            (MemoryOp::Move, 3.0),
+            (MemoryOp::Set, 3.0),
+            (MemoryOp::Compare, 2.0),
+        ]),
+        copy_origins: bd(&[
+            (CopyOrigin::SecureInsecureIo, 9.0),
+            (CopyOrigin::IoPrePostProcessing, 25.0),
+            (CopyOrigin::Serialization, 50.0),
+            (CopyOrigin::ApplicationLogic, 16.0),
+        ]),
+        kernel_ops: bd(&[
+            (KernelOp::Scheduler, 14.0),
+            (KernelOp::EventHandling, 9.0),
+            (KernelOp::Network, 12.0),
+            (KernelOp::Synchronization, 8.0),
+            (KernelOp::MemoryManagement, 27.0),
+            (KernelOp::Miscellaneous, 30.0),
+        ]),
+        sync_ops: bd(&[(SyncPrimitive::Mutex, 100.0)]),
+        clib_ops: bd(&[
+            (CLibOp::StdAlgorithms, 3.0),
+            (CLibOp::CtorsDtors, 5.0),
+            (CLibOp::Strings, 5.0),
+            (CLibOp::HashTables, 10.0),
+            (CLibOp::Vectors, 53.0),
+            (CLibOp::Trees, 6.0),
+            (CLibOp::OperatorOverride, 10.0),
+            (CLibOp::Miscellaneous, 8.0),
+        ]),
+        rates: ServiceRates {
+            host_cycles_per_second: 2.3e9,
+            compressions_per_second: 15_008.0,
+            copies_per_second: 420_000.0,
+            allocations_per_second: 95_000.0,
+            encryptions_per_second: 12_000.0,
+        },
+        platform: GEN_C_18,
+    }
+}
+
+/// Feed2 (§2.1): News Feed aggregation. Constraints: inference at the
+/// §2.4 lower bound (33% → a 1.49× ceiling, the paper's "only 49%"
+/// headline), making it the service that spends 67% of cycles
+/// orchestrating inference (the high end of §2.4's range); heavy feature
+/// extraction; C libraries dominated by vector operations on feature
+/// data (§2.3.4); high thread-pool overhead.
+pub(super) fn feed2() -> ServiceProfile {
+    ServiceProfile {
+        id: ServiceId::Feed2,
+        functionality: bd(&[
+            (F::SecureInsecureIo, 7.0),
+            (F::IoPrePostProcessing, 3.0),
+            (F::Compression, 6.0),
+            (F::Serialization, 9.0),
+            (F::FeatureExtraction, 28.0),
+            (F::PredictionRanking, 33.0),
+            (F::Logging, 2.0),
+            (F::ThreadPoolManagement, 10.0),
+            (F::Miscellaneous, 2.0),
+        ]),
+        leaves: bd(&[
+            (L::Memory, 20.0),
+            (L::Kernel, 1.0),
+            (L::Hashing, 2.0),
+            (L::Synchronization, 3.0),
+            (L::Zstd, 4.0),
+            (L::Math, 13.0),
+            (L::CLibraries, 37.0),
+            (L::Miscellaneous, 20.0),
+        ]),
+        memory_ops: bd(&[
+            (MemoryOp::Copy, 40.0),
+            (MemoryOp::Free, 19.0),
+            (MemoryOp::Allocation, 22.0),
+            (MemoryOp::Move, 8.0),
+            (MemoryOp::Set, 6.0),
+            (MemoryOp::Compare, 5.0),
+        ]),
+        copy_origins: bd(&[
+            (CopyOrigin::SecureInsecureIo, 8.0),
+            (CopyOrigin::IoPrePostProcessing, 17.0),
+            (CopyOrigin::Serialization, 45.0),
+            (CopyOrigin::ApplicationLogic, 30.0),
+        ]),
+        kernel_ops: bd(&[
+            (KernelOp::Scheduler, 19.0),
+            (KernelOp::EventHandling, 5.0),
+            (KernelOp::Network, 16.0),
+            (KernelOp::Synchronization, 13.0),
+            (KernelOp::MemoryManagement, 20.0),
+            (KernelOp::Miscellaneous, 27.0),
+        ]),
+        sync_ops: bd(&[
+            (SyncPrimitive::Atomics, 26.0),
+            (SyncPrimitive::Mutex, 63.0),
+            (SyncPrimitive::CompareExchange, 11.0),
+        ]),
+        clib_ops: bd(&[
+            (CLibOp::StdAlgorithms, 15.0),
+            (CLibOp::CtorsDtors, 6.0),
+            (CLibOp::Strings, 1.0),
+            (CLibOp::HashTables, 15.0),
+            (CLibOp::Vectors, 34.0),
+            (CLibOp::Trees, 1.0),
+            (CLibOp::OperatorOverride, 18.0),
+            (CLibOp::Miscellaneous, 10.0),
+        ]),
+        rates: ServiceRates {
+            host_cycles_per_second: 2.3e9,
+            compressions_per_second: 9_500.0,
+            copies_per_second: 600_000.0,
+            allocations_per_second: 140_000.0,
+            encryptions_per_second: 10_000.0,
+        },
+        platform: GEN_C_18,
+    }
+}
+

@@ -1,0 +1,87 @@
+//! Web: the HipHop VM web tier (§2.1).
+
+use crate::categories::{
+    CLibOp, CopyOrigin, FunctionalityCategory as F, KernelOp, LeafCategory as L, MemoryOp,
+    SyncPrimitive,
+};
+use crate::platform::GEN_C_18;
+use crate::services::{bd, ServiceId, ServiceProfile, ServiceRates};
+
+/// Web (§2.1, §2.4): HipHop VM. Constraints: only 18% of cycles in core
+/// web-serving logic; 23% in reading/updating logs; significant I/O from
+/// its many URL endpoints; memory leaves are its largest category at 37%
+/// (§2.3.1's "37% of cycles" maximum); C libraries heavy in strings and
+/// hash-table look-ups (§2.3.4); copies dominated by I/O pre/post
+/// processing (§2.3.1, Fig. 4 discussion).
+pub(super) fn web() -> ServiceProfile {
+    ServiceProfile {
+        id: ServiceId::Web,
+        functionality: bd(&[
+            (F::SecureInsecureIo, 15.0),
+            (F::IoPrePostProcessing, 10.0),
+            (F::Compression, 9.0),
+            (F::Serialization, 7.0),
+            (F::ApplicationLogic, 18.0),
+            (F::Logging, 23.0),
+            (F::ThreadPoolManagement, 4.0),
+            (F::Miscellaneous, 14.0),
+        ]),
+        leaves: bd(&[
+            (L::Memory, 37.0),
+            (L::Kernel, 7.0),
+            (L::Hashing, 2.0),
+            (L::Synchronization, 2.0),
+            (L::Zstd, 5.0),
+            (L::Ssl, 1.0),
+            (L::CLibraries, 31.0),
+            (L::Miscellaneous, 15.0),
+        ]),
+        memory_ops: bd(&[
+            (MemoryOp::Copy, 35.0),
+            (MemoryOp::Free, 20.0),
+            (MemoryOp::Allocation, 25.0),
+            (MemoryOp::Move, 8.0),
+            (MemoryOp::Set, 7.0),
+            (MemoryOp::Compare, 5.0),
+        ]),
+        copy_origins: bd(&[
+            (CopyOrigin::SecureInsecureIo, 17.0),
+            (CopyOrigin::IoPrePostProcessing, 46.0),
+            (CopyOrigin::Serialization, 17.0),
+            (CopyOrigin::ApplicationLogic, 20.0),
+        ]),
+        kernel_ops: bd(&[
+            (KernelOp::Scheduler, 19.0),
+            (KernelOp::EventHandling, 10.0),
+            (KernelOp::Network, 16.0),
+            (KernelOp::Synchronization, 12.0),
+            (KernelOp::MemoryManagement, 10.0),
+            (KernelOp::Miscellaneous, 33.0),
+        ]),
+        sync_ops: bd(&[
+            (SyncPrimitive::Atomics, 6.0),
+            (SyncPrimitive::Mutex, 71.0),
+            (SyncPrimitive::CompareExchange, 12.0),
+            (SyncPrimitive::SpinLock, 11.0),
+        ]),
+        clib_ops: bd(&[
+            (CLibOp::StdAlgorithms, 5.0),
+            (CLibOp::CtorsDtors, 5.0),
+            (CLibOp::Strings, 32.0),
+            (CLibOp::HashTables, 24.0),
+            (CLibOp::Vectors, 6.0),
+            (CLibOp::Trees, 1.0),
+            (CLibOp::OperatorOverride, 16.0),
+            (CLibOp::Miscellaneous, 11.0),
+        ]),
+        rates: ServiceRates {
+            host_cycles_per_second: 2.2e9,
+            compressions_per_second: 22_000.0,
+            copies_per_second: 900_000.0,
+            allocations_per_second: 160_000.0,
+            encryptions_per_second: 30_000.0,
+        },
+        platform: GEN_C_18,
+    }
+}
+

@@ -1,0 +1,395 @@
+//! A size-class slab allocator modeling TCMalloc's fast path.
+//!
+//! §2.3.1 explains why allocation and especially `free()` are expensive
+//! at hyperscale: `free()` takes no size parameter, so the allocator
+//! performs a (TLB-unfriendly) lookup to recover the block's size class,
+//! while C++14's sized `delete` can skip it. This module reproduces that
+//! structure — size classes, per-class free lists, and *both* free paths
+//! — with cycle-relevant events (size-class lookups, page appends, list
+//! pushes) surfaced as counters so the harness can derive the model's
+//! allocation parameters (`Cb`, and Mallacc-style `A ≈ 1.5`).
+//!
+//! The allocator is fully safe Rust: allocations are handles into
+//! per-class slabs, and `free` consumes the handle, making double frees
+//! unrepresentable.
+
+use serde::{Deserialize, Serialize};
+
+/// Slab growth increment, matching the 4 KiB pages the paper's free-path
+/// discussion revolves around.
+pub const PAGE_BYTES: usize = 4096;
+
+/// The largest size the class array serves; larger requests are refused
+/// (a real allocator would fall through to a page heap).
+pub const MAX_CLASS_BYTES: usize = 4096;
+
+/// A live allocation: an opaque handle that must be returned via
+/// [`SizeClassAllocator::free`] or [`SizeClassAllocator::free_with_size`].
+///
+/// The handle is deliberately neither `Clone` nor `Copy`; consuming it on
+/// free makes use-after-free and double-free unrepresentable.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Allocation {
+    class: u32,
+    slot: u32,
+    requested: u32,
+}
+
+impl Allocation {
+    /// The number of bytes the caller asked for.
+    #[must_use]
+    pub fn requested_bytes(&self) -> usize {
+        self.requested as usize
+    }
+}
+
+/// Event counters a micro-benchmark reads to cost the allocator.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocStats {
+    /// Successful allocations.
+    pub allocations: u64,
+    /// Frees via the unsized path (each pays a size-class lookup).
+    pub frees: u64,
+    /// Frees via the sized path (no lookup).
+    pub sized_frees: u64,
+    /// Size-class lookups performed (alloc always; free only unsized).
+    pub class_lookups: u64,
+    /// New pages appended to slabs.
+    pub pages_grown: u64,
+    /// Requests refused because they exceeded the largest class.
+    pub oversize_rejections: u64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SizeClass {
+    /// The block size this class serves.
+    block_bytes: usize,
+    /// Backing storage; slot `i` occupies `[i*block, (i+1)*block)`.
+    storage: Vec<u8>,
+    /// Free slot indices (LIFO, like a thread-cache free list).
+    free_list: Vec<u32>,
+    /// Slots handed out and never yet freed.
+    live: u64,
+}
+
+impl SizeClass {
+    fn slots(&self) -> usize {
+        self.storage.len() / self.block_bytes
+    }
+}
+
+/// The allocator: an array of size classes with per-class free lists.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SizeClassAllocator {
+    classes: Vec<SizeClass>,
+    stats: AllocStats,
+}
+
+impl Default for SizeClassAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SizeClassAllocator {
+    /// Creates an allocator with TCMalloc-style size classes: 8-byte
+    /// steps to 64 B, 16-byte steps to 256 B, then powers of two to 4 KiB.
+    #[must_use]
+    pub fn new() -> Self {
+        let mut sizes = Vec::new();
+        let mut s = 8;
+        while s <= 64 {
+            sizes.push(s);
+            s += 8;
+        }
+        let mut s = 80;
+        while s <= 256 {
+            sizes.push(s);
+            s += 16;
+        }
+        let mut s = 512;
+        while s <= MAX_CLASS_BYTES {
+            sizes.push(s);
+            s *= 2;
+        }
+        let classes = sizes
+            .into_iter()
+            .map(|block_bytes| SizeClass {
+                block_bytes,
+                storage: Vec::new(),
+                free_list: Vec::new(),
+                live: 0,
+            })
+            .collect();
+        Self {
+            classes,
+            stats: AllocStats::default(),
+        }
+    }
+
+    /// Number of size classes.
+    #[must_use]
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The block size of the class that would serve `size`, or `None` for
+    /// oversize requests. This is the "size-class lookup" whose cost the
+    /// paper's free-path discussion centers on.
+    #[must_use]
+    pub fn class_for(&self, size: usize) -> Option<usize> {
+        self.class_index(size).map(|i| self.classes[i].block_bytes)
+    }
+
+    fn class_index(&self, size: usize) -> Option<usize> {
+        if size == 0 || size > MAX_CLASS_BYTES {
+            return None;
+        }
+        self.classes
+            .iter()
+            .position(|c| c.block_bytes >= size)
+    }
+
+    /// Allocates `size` bytes, zero-filled on first use of a slot.
+    ///
+    /// Returns `None` (and counts an oversize rejection) for zero-byte or
+    /// larger-than-4-KiB requests.
+    pub fn alloc(&mut self, size: usize) -> Option<Allocation> {
+        self.stats.class_lookups += 1;
+        let Some(class_idx) = self.class_index(size) else {
+            self.stats.oversize_rejections += 1;
+            return None;
+        };
+        let class = &mut self.classes[class_idx];
+        let slot = if let Some(slot) = class.free_list.pop() {
+            slot
+        } else {
+            // Grow the slab by one page worth of blocks.
+            let first_new = class.slots() as u32;
+            let blocks = (PAGE_BYTES / class.block_bytes).max(1);
+            class
+                .storage
+                .resize(class.storage.len() + blocks * class.block_bytes, 0);
+            self.stats.pages_grown += 1;
+            // Push all but the first new slot onto the free list.
+            for s in (first_new + 1..first_new + blocks as u32).rev() {
+                class.free_list.push(s);
+            }
+            first_new
+        };
+        class.live += 1;
+        self.stats.allocations += 1;
+        Some(Allocation {
+            class: class_idx as u32,
+            slot,
+            requested: size as u32,
+        })
+    }
+
+    /// Access the bytes of a live allocation (length = requested size).
+    #[must_use]
+    pub fn data_mut(&mut self, allocation: &Allocation) -> &mut [u8] {
+        let class = &mut self.classes[allocation.class as usize];
+        let start = allocation.slot as usize * class.block_bytes;
+        &mut class.storage[start..start + allocation.requested as usize]
+    }
+
+    /// Frees via the *unsized* path (`free(ptr)`): pays a size-class
+    /// lookup, like TCMalloc recovering the class from the page map.
+    pub fn free(&mut self, allocation: Allocation) {
+        self.stats.class_lookups += 1;
+        self.stats.frees += 1;
+        self.release(allocation);
+    }
+
+    /// Frees via the *sized* path (C++14 `operator delete(ptr, size)`):
+    /// skips the size-class lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` does not match the allocation's requested size —
+    /// mismatched sized delete is undefined behaviour in C++, surfaced
+    /// here as a hard failure.
+    pub fn free_with_size(&mut self, allocation: Allocation, size: usize) {
+        assert_eq!(
+            allocation.requested as usize, size,
+            "sized free with mismatched size"
+        );
+        self.stats.sized_frees += 1;
+        self.release(allocation);
+    }
+
+    fn release(&mut self, allocation: Allocation) {
+        let class = &mut self.classes[allocation.class as usize];
+        class.free_list.push(allocation.slot);
+        class.live -= 1;
+    }
+
+    /// Event counters.
+    #[must_use]
+    pub fn stats(&self) -> AllocStats {
+        self.stats
+    }
+
+    /// Total live allocations across all classes.
+    #[must_use]
+    pub fn live_allocations(&self) -> u64 {
+        self.classes.iter().map(|c| c.live).sum()
+    }
+
+    /// Bytes of slab memory owned by the allocator.
+    #[must_use]
+    pub fn slab_bytes(&self) -> usize {
+        self.classes.iter().map(|c| c.storage.len()).sum()
+    }
+
+    /// Internal fragmentation of the live set: 1 − requested/rounded.
+    /// Returns 0 when nothing is live.
+    #[must_use]
+    pub fn internal_fragmentation(&self, live: &[Allocation]) -> f64 {
+        let requested: usize = live.iter().map(Allocation::requested_bytes).sum();
+        let rounded: usize = live
+            .iter()
+            .map(|a| self.classes[a.class as usize].block_bytes)
+            .sum();
+        if rounded == 0 {
+            0.0
+        } else {
+            1.0 - requested as f64 / rounded as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_classes_are_monotone_and_cover_range() {
+        let a = SizeClassAllocator::new();
+        assert!(a.class_count() > 10);
+        let mut prev = 0;
+        for size in 1..=MAX_CLASS_BYTES {
+            let class = a.class_for(size).expect("covered");
+            assert!(class >= size, "class {class} < size {size}");
+            let _ = prev;
+            prev = class;
+        }
+        assert_eq!(a.class_for(8), Some(8));
+        assert_eq!(a.class_for(9), Some(16));
+        assert_eq!(a.class_for(100), Some(112));
+        assert_eq!(a.class_for(257), Some(512));
+        assert!(a.class_for(0).is_none());
+        assert!(a.class_for(MAX_CLASS_BYTES + 1).is_none());
+    }
+
+    #[test]
+    fn alloc_free_round_trip() {
+        let mut a = SizeClassAllocator::new();
+        let h = a.alloc(100).unwrap();
+        assert_eq!(h.requested_bytes(), 100);
+        assert_eq!(a.live_allocations(), 1);
+        a.free(h);
+        assert_eq!(a.live_allocations(), 0);
+        let stats = a.stats();
+        assert_eq!(stats.allocations, 1);
+        assert_eq!(stats.frees, 1);
+        // One lookup for alloc, one for the unsized free.
+        assert_eq!(stats.class_lookups, 2);
+    }
+
+    #[test]
+    fn sized_free_skips_lookup() {
+        let mut a = SizeClassAllocator::new();
+        let h = a.alloc(64).unwrap();
+        let lookups_before = a.stats().class_lookups;
+        a.free_with_size(h, 64);
+        assert_eq!(a.stats().class_lookups, lookups_before);
+        assert_eq!(a.stats().sized_frees, 1);
+        assert_eq!(a.stats().frees, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched size")]
+    fn sized_free_rejects_wrong_size() {
+        let mut a = SizeClassAllocator::new();
+        let h = a.alloc(64).unwrap();
+        a.free_with_size(h, 65);
+    }
+
+    #[test]
+    fn slots_are_reused_after_free() {
+        let mut a = SizeClassAllocator::new();
+        let h1 = a.alloc(32).unwrap();
+        let slot1 = h1.slot;
+        a.free(h1);
+        let pages_before = a.stats().pages_grown;
+        let h2 = a.alloc(32).unwrap();
+        assert_eq!(h2.slot, slot1, "LIFO free list reuses the hot slot");
+        assert_eq!(a.stats().pages_grown, pages_before, "no new page needed");
+        a.free(h2);
+    }
+
+    #[test]
+    fn data_is_isolated_between_allocations() {
+        let mut a = SizeClassAllocator::new();
+        let h1 = a.alloc(64).unwrap();
+        let h2 = a.alloc(64).unwrap();
+        a.data_mut(&h1).fill(0xAA);
+        a.data_mut(&h2).fill(0xBB);
+        assert!(a.data_mut(&h1).iter().all(|&b| b == 0xAA));
+        assert!(a.data_mut(&h2).iter().all(|&b| b == 0xBB));
+        assert_eq!(a.data_mut(&h1).len(), 64);
+        a.free(h1);
+        a.free(h2);
+    }
+
+    #[test]
+    fn page_growth_batches_slots() {
+        let mut a = SizeClassAllocator::new();
+        // 4096/8 = 512 slots per page for the 8-byte class: the first
+        // allocation grows one page, the next 511 reuse it.
+        let handles: Vec<Allocation> = (0..512).map(|_| a.alloc(8).unwrap()).collect();
+        assert_eq!(a.stats().pages_grown, 1);
+        let h = a.alloc(8).unwrap();
+        assert_eq!(a.stats().pages_grown, 2);
+        for handle in handles {
+            a.free(handle);
+        }
+        a.free(h);
+        assert_eq!(a.live_allocations(), 0);
+    }
+
+    #[test]
+    fn oversize_requests_are_rejected() {
+        let mut a = SizeClassAllocator::new();
+        assert!(a.alloc(0).is_none());
+        assert!(a.alloc(MAX_CLASS_BYTES + 1).is_none());
+        assert_eq!(a.stats().oversize_rejections, 2);
+        assert_eq!(a.stats().allocations, 0);
+    }
+
+    #[test]
+    fn fragmentation_accounting() {
+        let mut a = SizeClassAllocator::new();
+        // 9-byte requests land in the 16-byte class: 7/16 wasted.
+        let live: Vec<Allocation> = (0..10).map(|_| a.alloc(9).unwrap()).collect();
+        let frag = a.internal_fragmentation(&live);
+        assert!((frag - 7.0 / 16.0).abs() < 1e-9);
+        assert_eq!(a.internal_fragmentation(&[]), 0.0);
+        for h in live {
+            a.free(h);
+        }
+    }
+
+    #[test]
+    fn slab_bytes_grow_in_pages() {
+        let mut a = SizeClassAllocator::new();
+        assert_eq!(a.slab_bytes(), 0);
+        let h = a.alloc(2048).unwrap();
+        assert_eq!(a.slab_bytes(), PAGE_BYTES);
+        a.free(h);
+        // Memory is retained for reuse (like a thread cache).
+        assert_eq!(a.slab_bytes(), PAGE_BYTES);
+    }
+}

@@ -1,0 +1,273 @@
+//! RPC serialization: a compact binary codec for key-value requests and
+//! responses.
+//!
+//! The "Serialization/Deserialization" functionality of Table 3 is RPC
+//! argument marshalling; this module provides a representative codec —
+//! varint-length-prefixed fields, no self-description — whose per-byte
+//! cost the harness can measure, and whose output feeds the compression
+//! and encryption stages of the [`crate::pipeline`].
+
+use std::fmt;
+
+/// Errors produced while decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// The buffer ended mid-message.
+    Truncated,
+    /// A varint ran past 10 bytes.
+    VarintOverflow,
+    /// The message tag byte was unknown.
+    UnknownTag(u8),
+    /// Trailing bytes followed a complete message.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "message is truncated"),
+            DecodeError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            DecodeError::UnknownTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            DecodeError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after message")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A key-value RPC message (the Cache service's wire traffic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvMessage {
+    /// Fetch a key.
+    Get {
+        /// The key to fetch.
+        key: Vec<u8>,
+    },
+    /// Store a value under a key with a TTL.
+    Set {
+        /// The key to store under.
+        key: Vec<u8>,
+        /// The value bytes.
+        value: Vec<u8>,
+        /// Time-to-live in seconds.
+        ttl_seconds: u64,
+    },
+    /// A hit response carrying the value.
+    Hit {
+        /// The value bytes.
+        value: Vec<u8>,
+    },
+    /// A miss response.
+    Miss,
+}
+
+const TAG_GET: u8 = 1;
+const TAG_SET: u8 = 2;
+const TAG_HIT: u8 = 3;
+const TAG_MISS: u8 = 4;
+
+fn put_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
+    let mut value = 0u64;
+    for shift in 0..10 {
+        let byte = *buf.get(*pos).ok_or(DecodeError::Truncated)?;
+        *pos += 1;
+        if shift == 9 && byte > 1 {
+            return Err(DecodeError::VarintOverflow);
+        }
+        value |= u64::from(byte & 0x7f) << (7 * shift);
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+    }
+    Err(DecodeError::VarintOverflow)
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_varint(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+fn get_bytes(buf: &[u8], pos: &mut usize) -> Result<Vec<u8>, DecodeError> {
+    let len = get_varint(buf, pos)? as usize;
+    let end = pos.checked_add(len).ok_or(DecodeError::Truncated)?;
+    if end > buf.len() {
+        return Err(DecodeError::Truncated);
+    }
+    let bytes = buf[*pos..end].to_vec();
+    *pos = end;
+    Ok(bytes)
+}
+
+impl KvMessage {
+    /// Encodes the message to bytes.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        match self {
+            KvMessage::Get { key } => {
+                out.push(TAG_GET);
+                put_bytes(&mut out, key);
+            }
+            KvMessage::Set {
+                key,
+                value,
+                ttl_seconds,
+            } => {
+                out.push(TAG_SET);
+                put_bytes(&mut out, key);
+                put_bytes(&mut out, value);
+                put_varint(&mut out, *ttl_seconds);
+            }
+            KvMessage::Hit { value } => {
+                out.push(TAG_HIT);
+                put_bytes(&mut out, value);
+            }
+            KvMessage::Miss => out.push(TAG_MISS),
+        }
+        out
+    }
+
+    /// Decodes a message, requiring the buffer to be exactly one message.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncation, varint overflow, unknown
+    /// tags, or trailing bytes.
+    pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
+        let mut pos = 0usize;
+        let tag = *buf.first().ok_or(DecodeError::Truncated)?;
+        pos += 1;
+        let message = match tag {
+            TAG_GET => KvMessage::Get {
+                key: get_bytes(buf, &mut pos)?,
+            },
+            TAG_SET => {
+                let key = get_bytes(buf, &mut pos)?;
+                let value = get_bytes(buf, &mut pos)?;
+                let ttl_seconds = get_varint(buf, &mut pos)?;
+                KvMessage::Set {
+                    key,
+                    value,
+                    ttl_seconds,
+                }
+            }
+            TAG_HIT => KvMessage::Hit {
+                value: get_bytes(buf, &mut pos)?,
+            },
+            TAG_MISS => KvMessage::Miss,
+            other => return Err(DecodeError::UnknownTag(other)),
+        };
+        if pos != buf.len() {
+            return Err(DecodeError::TrailingBytes {
+                remaining: buf.len() - pos,
+            });
+        }
+        Ok(message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(message: &KvMessage) {
+        let encoded = message.encode();
+        let decoded = KvMessage::decode(&encoded).expect("round trip decodes");
+        assert_eq!(&decoded, message);
+    }
+
+    #[test]
+    fn round_trips_every_variant() {
+        round_trip(&KvMessage::Get { key: b"user:42".to_vec() });
+        round_trip(&KvMessage::Set {
+            key: b"feed:99".to_vec(),
+            value: vec![7u8; 3_000],
+            ttl_seconds: 86_400,
+        });
+        round_trip(&KvMessage::Hit { value: vec![] });
+        round_trip(&KvMessage::Miss);
+        round_trip(&KvMessage::Get { key: vec![] });
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for ttl in [0u64, 127, 128, 16_383, 16_384, u64::MAX] {
+            round_trip(&KvMessage::Set {
+                key: b"k".to_vec(),
+                value: b"v".to_vec(),
+                ttl_seconds: ttl,
+            });
+        }
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let encoded = KvMessage::Set {
+            key: b"key".to_vec(),
+            value: b"value".to_vec(),
+            ttl_seconds: 300,
+        }
+        .encode();
+        for cut in 0..encoded.len() {
+            let err = KvMessage::decode(&encoded[..cut]).unwrap_err();
+            assert!(
+                matches!(err, DecodeError::Truncated),
+                "cut {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_tags_and_trailing_bytes() {
+        assert_eq!(KvMessage::decode(&[99]), Err(DecodeError::UnknownTag(99)));
+        let mut encoded = KvMessage::Miss.encode();
+        encoded.push(0);
+        assert_eq!(
+            KvMessage::decode(&encoded),
+            Err(DecodeError::TrailingBytes { remaining: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_varint_overflow() {
+        // 11 continuation bytes.
+        let mut buf = vec![TAG_GET];
+        buf.extend_from_slice(&[0xffu8; 10]);
+        assert_eq!(KvMessage::decode(&buf), Err(DecodeError::VarintOverflow));
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        let m = KvMessage::Get { key: b"k".to_vec() };
+        assert_eq!(m.encode().len(), 3); // tag + len + 1 byte
+        assert_eq!(KvMessage::Miss.encode().len(), 1);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(DecodeError::Truncated.to_string().contains("truncated"));
+        assert!(DecodeError::UnknownTag(7).to_string().contains("0x07"));
+        assert!(DecodeError::TrailingBytes { remaining: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(DecodeError::VarintOverflow.to_string().contains("64"));
+    }
+}

@@ -1,0 +1,203 @@
+//! The parameter-measurement harness: §4's methodology for deriving
+//! model parameters from micro-benchmarks.
+//!
+//! The paper measures `Cb` (host cycles per byte), `A` (the accelerator's
+//! peak speedup, as the ratio of host to accelerator per-byte cost), and
+//! `o0`/`L` from micro-benchmarks plus specification sheets. This module
+//! provides the timing harness: run a kernel over a known byte volume,
+//! convert elapsed wall time to cycles at the host's nominal frequency,
+//! and report [`accelerometer`] model inputs directly.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use accelerometer::units::CyclesPerByte;
+use accelerometer::{Complexity, KernelCost};
+
+/// A completed kernel measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelMeasurement {
+    /// Total bytes the kernel processed.
+    pub bytes_processed: u64,
+    /// Total invocations.
+    pub invocations: u64,
+    /// Elapsed wall time.
+    pub elapsed: Duration,
+    /// The nominal host clock used to convert time to cycles (Hz).
+    pub clock_hz: f64,
+}
+
+impl KernelMeasurement {
+    /// Total host cycles at the nominal clock.
+    #[must_use]
+    pub fn cycles(&self) -> f64 {
+        self.elapsed.as_secs_f64() * self.clock_hz
+    }
+
+    /// `Cb`: host cycles per byte.
+    #[must_use]
+    pub fn cycles_per_byte(&self) -> CyclesPerByte {
+        CyclesPerByte::new(self.cycles() / self.bytes_processed.max(1) as f64)
+    }
+
+    /// Cycles per invocation (`o0`-style fixed costs show up here when
+    /// the per-invocation byte count is small).
+    #[must_use]
+    pub fn cycles_per_invocation(&self) -> f64 {
+        self.cycles() / self.invocations.max(1) as f64
+    }
+
+    /// Packages the measurement as a linear-complexity [`KernelCost`]
+    /// ready for break-even analysis.
+    #[must_use]
+    pub fn kernel_cost(&self) -> KernelCost {
+        KernelCost {
+            cycles_per_byte: self.cycles_per_byte(),
+            complexity: Complexity::LINEAR,
+        }
+    }
+
+    /// Throughput in bytes per second.
+    #[must_use]
+    pub fn bytes_per_second(&self) -> f64 {
+        self.bytes_processed as f64 / self.elapsed.as_secs_f64().max(1e-12)
+    }
+}
+
+/// The micro-benchmark harness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Harness {
+    clock_hz: f64,
+}
+
+impl Harness {
+    /// Creates a harness converting wall time to cycles at `clock_hz`
+    /// (e.g. `2.0e9` to mirror the paper's 2 GHz busy frequency).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `clock_hz` is positive and finite.
+    #[must_use]
+    pub fn new(clock_hz: f64) -> Self {
+        assert!(
+            clock_hz.is_finite() && clock_hz > 0.0,
+            "clock must be positive"
+        );
+        Self { clock_hz }
+    }
+
+    /// The configured clock in Hz.
+    #[must_use]
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_hz
+    }
+
+    /// Measures a kernel: invokes `kernel` once per iteration, charging
+    /// `bytes_per_invocation` bytes to each. The kernel's return value is
+    /// passed through [`black_box`] so the work is not optimized away.
+    pub fn measure<T>(
+        &self,
+        invocations: u64,
+        bytes_per_invocation: u64,
+        mut kernel: impl FnMut() -> T,
+    ) -> KernelMeasurement {
+        let start = Instant::now();
+        for _ in 0..invocations {
+            black_box(kernel());
+        }
+        let elapsed = start.elapsed();
+        KernelMeasurement {
+            bytes_processed: invocations * bytes_per_invocation,
+            invocations,
+            elapsed,
+            clock_hz: self.clock_hz,
+        }
+    }
+
+    /// Constructs a measurement from a known elapsed time (for tests and
+    /// for replaying external measurements, e.g. device spec sheets).
+    #[must_use]
+    pub fn from_elapsed(
+        &self,
+        invocations: u64,
+        bytes_per_invocation: u64,
+        elapsed: Duration,
+    ) -> KernelMeasurement {
+        KernelMeasurement {
+            bytes_processed: invocations * bytes_per_invocation,
+            invocations,
+            elapsed,
+            clock_hz: self.clock_hz,
+        }
+    }
+}
+
+/// `A`: the peak acceleration factor between a baseline and an
+/// accelerated implementation of the same kernel — the ratio of their
+/// per-byte costs.
+#[must_use]
+pub fn acceleration_factor(baseline: &KernelMeasurement, accelerated: &KernelMeasurement) -> f64 {
+    baseline.cycles_per_byte().get() / accelerated.cycles_per_byte().get()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_measurement_arithmetic() {
+        let h = Harness::new(2.0e9);
+        // 1000 invocations × 100 B in 50 µs at 2 GHz = 100k cycles.
+        let m = h.from_elapsed(1000, 100, Duration::from_micros(50));
+        assert_eq!(m.bytes_processed, 100_000);
+        assert!((m.cycles() - 100_000.0).abs() < 1.0);
+        assert!((m.cycles_per_byte().get() - 1.0).abs() < 1e-9);
+        assert!((m.cycles_per_invocation() - 100.0).abs() < 1e-9);
+        assert!((m.bytes_per_second() - 2.0e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn acceleration_factor_is_cost_ratio() {
+        let h = Harness::new(2.0e9);
+        let slow = h.from_elapsed(100, 1000, Duration::from_millis(6));
+        let fast = h.from_elapsed(100, 1000, Duration::from_millis(1));
+        assert!((acceleration_factor(&slow, &fast) - 6.0).abs() < 1e-9);
+        assert!((acceleration_factor(&fast, &slow) - 1.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kernel_cost_feeds_breakeven() {
+        use accelerometer::units::bytes;
+        let h = Harness::new(2.0e9);
+        let m = h.from_elapsed(1, 1000, Duration::from_nanos(2810)); // 5.62 cyc/B
+        let cost = m.kernel_cost();
+        assert!((cost.cycles_per_byte.get() - 5.62).abs() < 0.01);
+        assert!((cost.host_cycles(bytes(425.0)).get() - 5.62 * 425.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn live_measurement_produces_positive_costs() {
+        let h = Harness::new(2.0e9);
+        let data = vec![0xA5u8; 4096];
+        let m = h.measure(50, 4096, || crate::hash::fnv1a_64(&data));
+        assert_eq!(m.invocations, 50);
+        assert_eq!(m.bytes_processed, 50 * 4096);
+        assert!(m.elapsed > Duration::ZERO);
+        assert!(m.cycles_per_byte().get() > 0.0);
+    }
+
+    #[test]
+    fn zero_guards() {
+        let h = Harness::new(1.0e9);
+        let m = h.from_elapsed(0, 0, Duration::from_nanos(10));
+        // Division guards: no NaN/inf from zero invocations/bytes.
+        assert!(m.cycles_per_byte().get().is_finite());
+        assert!(m.cycles_per_invocation().is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "clock must be positive")]
+    fn rejects_bad_clock() {
+        let _ = Harness::new(0.0);
+    }
+}

@@ -1,0 +1,265 @@
+//! A sharded, TTL-aware key-value store: the Cache services' *core
+//! application logic* (Table 3: "core business logic (e.g., Cache's
+//! key-value serving)").
+//!
+//! Together with the [`crate::pipeline`] this completes a runnable
+//! Cache1-like microservice: frames come in, the orchestration pipeline
+//! unwraps them, this store serves them, and the pipeline wraps the
+//! response — letting the examples measure a living version of the
+//! paper's "application logic vs orchestration" split.
+//!
+//! The design mirrors a memcached-style store at small scale: FNV-sharded
+//! buckets, per-shard maps, logical-clock TTLs, and LRU-free lazy
+//! expiry with stats for hit/miss/expired accounting.
+
+use std::collections::HashMap;
+
+use crate::codec::KvMessage;
+use crate::hash::fnv1a_64;
+
+/// Hit/miss/expiry counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct KvStats {
+    /// Gets that found a live value.
+    pub hits: u64,
+    /// Gets that found nothing.
+    pub misses: u64,
+    /// Gets that found an expired value (counted as misses too).
+    pub expired: u64,
+    /// Sets (inserts or overwrites).
+    pub sets: u64,
+}
+
+impl KvStats {
+    /// Hit rate over all gets (0 when no gets have happened).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let gets = self.hits + self.misses;
+        if gets == 0 {
+            0.0
+        } else {
+            self.hits as f64 / gets as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    value: Vec<u8>,
+    expires_at: u64,
+}
+
+/// The sharded store. Time is a logical clock advanced by the caller
+/// (`now` parameters), keeping the store deterministic for tests and
+/// simulations.
+#[derive(Debug)]
+pub struct KvStore {
+    shards: Vec<HashMap<Vec<u8>, Entry>>,
+    stats: KvStats,
+}
+
+impl KvStore {
+    /// Creates a store with `shards` buckets (rounded up to at least 1).
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: (0..shards.max(1)).map(|_| HashMap::new()).collect(),
+            stats: KvStats::default(),
+        }
+    }
+
+    fn shard_mut(&mut self, key: &[u8]) -> &mut HashMap<Vec<u8>, Entry> {
+        let idx = (fnv1a_64(key) % self.shards.len() as u64) as usize;
+        &mut self.shards[idx]
+    }
+
+    /// Stores `value` under `key`, expiring `ttl_seconds` after `now`.
+    /// A zero TTL stores an immediately-expired tombstone.
+    pub fn set(&mut self, key: &[u8], value: Vec<u8>, ttl_seconds: u64, now: u64) {
+        let expires_at = now.saturating_add(ttl_seconds);
+        self.shard_mut(key).insert(
+            key.to_vec(),
+            Entry { value, expires_at },
+        );
+        self.stats.sets += 1;
+    }
+
+    /// Fetches a live value, lazily evicting expired entries.
+    pub fn get(&mut self, key: &[u8], now: u64) -> Option<Vec<u8>> {
+        let shard = self.shard_mut(key);
+        match shard.get(key) {
+            Some(entry) if entry.expires_at > now => {
+                let value = entry.value.clone();
+                self.stats.hits += 1;
+                Some(value)
+            }
+            Some(_) => {
+                shard.remove(key);
+                self.stats.expired += 1;
+                self.stats.misses += 1;
+                None
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Serves one decoded RPC message, producing the response message —
+    /// the whole of Cache's application logic.
+    pub fn serve(&mut self, request: &KvMessage, now: u64) -> KvMessage {
+        match request {
+            KvMessage::Get { key } => match self.get(key, now) {
+                Some(value) => KvMessage::Hit { value },
+                None => KvMessage::Miss,
+            },
+            KvMessage::Set {
+                key,
+                value,
+                ttl_seconds,
+            } => {
+                self.set(key, value.clone(), *ttl_seconds, now);
+                KvMessage::Miss // acknowledgement carries no payload
+            }
+            // Responses arriving as requests are protocol errors; answer
+            // with a miss rather than crashing the service.
+            KvMessage::Hit { .. } | KvMessage::Miss => KvMessage::Miss,
+        }
+    }
+
+    /// Counters so far.
+    #[must_use]
+    pub fn stats(&self) -> KvStats {
+        self.stats
+    }
+
+    /// Live (possibly expired-but-unswept) entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(HashMap::len).sum()
+    }
+
+    /// Whether the store holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sweeps every shard, dropping entries expired at `now`; returns the
+    /// number evicted (the "removing pages faulted in" cost §2.3.1
+    /// attributes to frees happens here in a real cache).
+    pub fn sweep_expired(&mut self, now: u64) -> usize {
+        let mut evicted = 0;
+        for shard in &mut self.shards {
+            let before = shard.len();
+            shard.retain(|_, entry| entry.expires_at > now);
+            evicted += before - shard.len();
+        }
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut store = KvStore::new(8);
+        store.set(b"user:1", b"alice".to_vec(), 60, 0);
+        assert_eq!(store.get(b"user:1", 30), Some(b"alice".to_vec()));
+        assert_eq!(store.get(b"user:2", 30), None);
+        assert_eq!(store.stats().hits, 1);
+        assert_eq!(store.stats().misses, 1);
+        assert_eq!(store.stats().sets, 1);
+        assert!((store.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entries_expire_lazily() {
+        let mut store = KvStore::new(4);
+        store.set(b"k", b"v".to_vec(), 10, 100);
+        assert_eq!(store.get(b"k", 109), Some(b"v".to_vec()));
+        // At exactly expires_at the entry is dead.
+        assert_eq!(store.get(b"k", 110), None);
+        assert_eq!(store.stats().expired, 1);
+        // The expired entry was evicted on access.
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn overwrite_replaces_value_and_ttl() {
+        let mut store = KvStore::new(4);
+        store.set(b"k", b"old".to_vec(), 5, 0);
+        store.set(b"k", b"new".to_vec(), 100, 0);
+        assert_eq!(store.get(b"k", 50), Some(b"new".to_vec()));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn zero_ttl_is_a_tombstone() {
+        let mut store = KvStore::new(4);
+        store.set(b"k", b"v".to_vec(), 0, 77);
+        assert_eq!(store.get(b"k", 77), None);
+    }
+
+    #[test]
+    fn sweep_evicts_in_bulk() {
+        let mut store = KvStore::new(4);
+        for i in 0..100u32 {
+            let ttl = if i % 2 == 0 { 10 } else { 1_000 };
+            store.set(&i.to_le_bytes(), vec![0u8; 16], ttl, 0);
+        }
+        assert_eq!(store.len(), 100);
+        let evicted = store.sweep_expired(500);
+        assert_eq!(evicted, 50);
+        assert_eq!(store.len(), 50);
+        // Sweeping again is a no-op.
+        assert_eq!(store.sweep_expired(500), 0);
+    }
+
+    #[test]
+    fn serve_implements_the_rpc_protocol() {
+        let mut store = KvStore::new(4);
+        let ack = store.serve(
+            &KvMessage::Set {
+                key: b"feed:1".to_vec(),
+                value: b"stories".to_vec(),
+                ttl_seconds: 60,
+            },
+            0,
+        );
+        assert_eq!(ack, KvMessage::Miss);
+        let hit = store.serve(&KvMessage::Get { key: b"feed:1".to_vec() }, 10);
+        assert_eq!(hit, KvMessage::Hit { value: b"stories".to_vec() });
+        let miss = store.serve(&KvMessage::Get { key: b"nope".to_vec() }, 10);
+        assert_eq!(miss, KvMessage::Miss);
+        // Protocol errors answer safely.
+        assert_eq!(store.serve(&KvMessage::Miss, 10), KvMessage::Miss);
+    }
+
+    #[test]
+    fn sharding_distributes_keys() {
+        let mut store = KvStore::new(16);
+        for i in 0..1_000u32 {
+            store.set(format!("key:{i}").as_bytes(), vec![1], 100, 0);
+        }
+        // Every shard got something (FNV spreads these keys).
+        assert!(store.shards.iter().all(|s| !s.is_empty()));
+        assert_eq!(store.len(), 1_000);
+    }
+
+    #[test]
+    fn ttl_saturates_instead_of_overflowing() {
+        let mut store = KvStore::new(1);
+        store.set(b"k", b"v".to_vec(), u64::MAX, u64::MAX - 1);
+        assert_eq!(store.get(b"k", u64::MAX - 1), Some(b"v".to_vec()));
+    }
+
+    #[test]
+    fn zero_shard_request_rounds_up() {
+        let store = KvStore::new(0);
+        assert_eq!(store.shards.len(), 1);
+    }
+}

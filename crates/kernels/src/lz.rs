@@ -1,0 +1,293 @@
+//! An LZ77-style compressor/decompressor: the software baseline for the
+//! paper's compression kernel (ZSTD leaves; §5's Feed1/Cache1
+//! compression study).
+//!
+//! The format is deliberately simple — greedy hash-chain matching over a
+//! 64 KiB window, with a byte-oriented token stream — because the model
+//! only needs a *representative* per-byte cost and an exactly-invertible
+//! round trip, not a competitive ratio.
+//!
+//! Token stream format:
+//! * `0x00 len  <len raw bytes>` — a literal run, `1 ≤ len ≤ 255`;
+//! * `0x01 len  d_hi d_lo` — a match of `len` (4–255) bytes at distance
+//!   `d` (1–65535) behind the current position.
+
+use std::fmt;
+
+/// Errors produced while decompressing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecompressError {
+    /// The stream ended in the middle of a token.
+    Truncated,
+    /// A token had an invalid tag byte.
+    BadTag(u8),
+    /// A match referred back past the start of the output.
+    BadDistance {
+        /// The (invalid) back-reference distance.
+        distance: usize,
+        /// Bytes produced so far.
+        produced: usize,
+    },
+    /// A zero-length literal or match.
+    EmptyToken,
+}
+
+impl fmt::Display for DecompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecompressError::Truncated => write!(f, "compressed stream is truncated"),
+            DecompressError::BadTag(t) => write!(f, "invalid token tag {t:#04x}"),
+            DecompressError::BadDistance { distance, produced } => {
+                write!(f, "match distance {distance} exceeds produced bytes {produced}")
+            }
+            DecompressError::EmptyToken => write!(f, "zero-length token"),
+        }
+    }
+}
+
+impl std::error::Error for DecompressError {}
+
+const WINDOW: usize = 1 << 16;
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = 255;
+const MAX_LITERAL_RUN: usize = 255;
+const HASH_BITS: u32 = 15;
+
+fn hash4(data: &[u8]) -> usize {
+    let v = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compresses `input`, returning the token stream.
+#[must_use]
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    // Head of the hash chain: most recent position with this 4-byte hash.
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut literal_start = 0usize;
+    let mut pos = 0usize;
+
+    let flush_literals = |out: &mut Vec<u8>, from: usize, to: usize| {
+        let mut start = from;
+        while start < to {
+            let run = (to - start).min(MAX_LITERAL_RUN);
+            out.push(0x00);
+            out.push(run as u8);
+            out.extend_from_slice(&input[start..start + run]);
+            start += run;
+        }
+    };
+
+    while pos < input.len() {
+        let remaining = input.len() - pos;
+        let mut matched = None;
+        if remaining >= MIN_MATCH {
+            let h = hash4(&input[pos..]);
+            let candidate = head[h];
+            head[h] = pos;
+            if candidate != usize::MAX && pos - candidate < WINDOW {
+                let max_len = remaining.min(MAX_MATCH);
+                let mut len = 0;
+                while len < max_len && input[candidate + len] == input[pos + len] {
+                    len += 1;
+                }
+                if len >= MIN_MATCH {
+                    matched = Some((pos - candidate, len));
+                }
+            }
+        }
+        if let Some((distance, len)) = matched {
+            flush_literals(&mut out, literal_start, pos);
+            out.push(0x01);
+            out.push(len as u8);
+            out.push((distance >> 8) as u8);
+            out.push((distance & 0xff) as u8);
+            // Index the skipped positions so later matches can refer to
+            // them (cheap partial insertion: every other position).
+            let end = pos + len;
+            let mut p = pos + 1;
+            while p + MIN_MATCH <= input.len() && p < end {
+                head[hash4(&input[p..])] = p;
+                p += 2;
+            }
+            pos = end;
+            literal_start = pos;
+        } else {
+            pos += 1;
+        }
+    }
+    flush_literals(&mut out, literal_start, input.len());
+    out
+}
+
+/// Decompresses a token stream produced by [`compress`].
+///
+/// # Errors
+///
+/// Returns a [`DecompressError`] if the stream is truncated or contains
+/// invalid tokens; a valid stream from [`compress`] always round-trips.
+pub fn decompress(compressed: &[u8]) -> Result<Vec<u8>, DecompressError> {
+    let mut out = Vec::with_capacity(compressed.len() * 2);
+    let mut pos = 0usize;
+    while pos < compressed.len() {
+        let tag = compressed[pos];
+        match tag {
+            0x00 => {
+                let len = usize::from(*compressed.get(pos + 1).ok_or(DecompressError::Truncated)?);
+                if len == 0 {
+                    return Err(DecompressError::EmptyToken);
+                }
+                let start = pos + 2;
+                let end = start + len;
+                if end > compressed.len() {
+                    return Err(DecompressError::Truncated);
+                }
+                out.extend_from_slice(&compressed[start..end]);
+                pos = end;
+            }
+            0x01 => {
+                if pos + 4 > compressed.len() {
+                    return Err(DecompressError::Truncated);
+                }
+                let len = usize::from(compressed[pos + 1]);
+                let distance = usize::from(compressed[pos + 2]) << 8 | usize::from(compressed[pos + 3]);
+                if len == 0 {
+                    return Err(DecompressError::EmptyToken);
+                }
+                if distance == 0 || distance > out.len() {
+                    return Err(DecompressError::BadDistance {
+                        distance,
+                        produced: out.len(),
+                    });
+                }
+                // Byte-by-byte so overlapping matches replicate correctly.
+                let start = out.len() - distance;
+                for i in 0..len {
+                    let byte = out[start + i];
+                    out.push(byte);
+                }
+                pos += 4;
+            }
+            other => return Err(DecompressError::BadTag(other)),
+        }
+    }
+    Ok(out)
+}
+
+/// Compression ratio achieved on an input (compressed/original; lower is
+/// better). Returns 1.0 for empty input.
+#[must_use]
+pub fn compression_ratio(input: &[u8]) -> f64 {
+    if input.is_empty() {
+        return 1.0;
+    }
+    compress(input).len() as f64 / input.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) {
+        let compressed = compress(data);
+        let back = decompress(&compressed).expect("round trip must decode");
+        assert_eq!(back, data, "round trip failed for {} bytes", data.len());
+    }
+
+    #[test]
+    fn round_trips_basic_inputs() {
+        round_trip(b"");
+        round_trip(b"a");
+        round_trip(b"hello world");
+        round_trip(&[0u8; 10_000]);
+        round_trip("the quick brown fox jumps over the lazy dog ".repeat(100).as_bytes());
+    }
+
+    #[test]
+    fn round_trips_incompressible_data() {
+        // A pseudo-random byte stream with no 4-byte repeats to speak of.
+        let data: Vec<u8> = (0u32..8192)
+            .map(|i| (i.wrapping_mul(2_654_435_761) >> 24) as u8)
+            .collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn compresses_repetitive_data_well() {
+        let data = b"abcdefgh".repeat(500);
+        let ratio = compression_ratio(&data);
+        assert!(ratio < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn expands_random_data_only_slightly() {
+        let data: Vec<u8> = (0u32..4096)
+            .map(|i| (i.wrapping_mul(2_654_435_761) >> 24) as u8)
+            .collect();
+        let ratio = compression_ratio(&data);
+        assert!(ratio < 1.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn overlapping_matches_replicate() {
+        // "aaaaa..." forces distance-1 matches that overlap themselves.
+        let data = vec![b'a'; 1000];
+        round_trip(&data);
+        let compressed = compress(&data);
+        assert!(compressed.len() < 50);
+    }
+
+    #[test]
+    fn long_literal_runs_split_at_255() {
+        let data: Vec<u8> = (0u32..1000)
+            .map(|i| (i.wrapping_mul(2_654_435_761) >> 24) as u8)
+            .collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn rejects_truncated_streams() {
+        let compressed = compress(b"hello hello hello hello hello");
+        for cut in 1..compressed.len() {
+            // Every strict prefix must either fail or decode to a prefix;
+            // it must never panic.
+            let _ = decompress(&compressed[..cut]);
+        }
+        assert_eq!(decompress(&[0x00]), Err(DecompressError::Truncated));
+        assert_eq!(decompress(&[0x01, 5, 0]), Err(DecompressError::Truncated));
+    }
+
+    #[test]
+    fn rejects_bad_tokens() {
+        assert_eq!(decompress(&[0x42]), Err(DecompressError::BadTag(0x42)));
+        assert_eq!(decompress(&[0x00, 0]), Err(DecompressError::EmptyToken));
+        // Match before any output exists.
+        assert!(matches!(
+            decompress(&[0x01, 4, 0, 1]),
+            Err(DecompressError::BadDistance { .. })
+        ));
+        // Zero distance.
+        assert!(matches!(
+            decompress(&[0x00, 1, b'x', 0x01, 4, 0, 0]),
+            Err(DecompressError::BadDistance { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(DecompressError::Truncated.to_string().contains("truncated"));
+        assert!(DecompressError::BadTag(7).to_string().contains("0x07"));
+        assert!(DecompressError::BadDistance {
+            distance: 9,
+            produced: 3
+        }
+        .to_string()
+        .contains('9'));
+    }
+
+    #[test]
+    fn empty_input_ratio_is_one() {
+        assert_eq!(compression_ratio(b""), 1.0);
+    }
+}

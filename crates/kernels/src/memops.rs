@@ -1,0 +1,214 @@
+//! Byte-accounted memory operations: the `memcpy`/`memmove`/`memset`/
+//! `memcmp` leaf functions of Fig. 3, instrumented so a harness can
+//! derive per-byte costs and per-origin attributions.
+//!
+//! The paper attributes memory copies to the functionality that invoked
+//! them (Fig. 4); [`OpCounter`] reproduces that attribution with a tag
+//! per operation.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// The memory operations tracked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum MemOp {
+    /// `memcpy`-style non-overlapping copy.
+    Copy,
+    /// `memmove`-style possibly-overlapping copy.
+    Move,
+    /// `memset`-style fill.
+    Set,
+    /// `memcmp`-style comparison.
+    Compare,
+}
+
+/// Per-operation, per-tag byte and invocation counters.
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpCounter {
+    counts: HashMap<(MemOp, String), (u64, u64)>,
+}
+
+impl OpCounter {
+    /// Creates an empty counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn record(&mut self, op: MemOp, tag: &str, bytes: usize) {
+        let entry = self.counts.entry((op, tag.to_owned())).or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 += bytes as u64;
+    }
+
+    /// `(invocations, bytes)` for an operation+tag pair.
+    #[must_use]
+    pub fn get(&self, op: MemOp, tag: &str) -> (u64, u64) {
+        self.counts
+            .get(&(op, tag.to_owned()))
+            .copied()
+            .unwrap_or((0, 0))
+    }
+
+    /// Total `(invocations, bytes)` for an operation across all tags.
+    #[must_use]
+    pub fn total(&self, op: MemOp) -> (u64, u64) {
+        self.counts
+            .iter()
+            .filter(|((o, _), _)| *o == op)
+            .fold((0, 0), |(i, b), (_, (di, db))| (i + di, b + db))
+    }
+
+    /// Fraction of an operation's bytes attributed to each tag — the
+    /// Fig. 4 "copy origins" view.
+    #[must_use]
+    pub fn attribution(&self, op: MemOp) -> Vec<(String, f64)> {
+        let (_, total_bytes) = self.total(op);
+        if total_bytes == 0 {
+            return Vec::new();
+        }
+        let mut shares: Vec<(String, f64)> = self
+            .counts
+            .iter()
+            .filter(|((o, _), _)| *o == op)
+            .map(|((_, tag), (_, bytes))| (tag.clone(), *bytes as f64 / total_bytes as f64))
+            .collect();
+        shares.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("shares are finite"));
+        shares
+    }
+}
+
+/// Copies `src` into `dst`, attributing the bytes to `tag`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length (mirroring `memcpy`'s
+/// fixed-count contract).
+pub fn copy(counter: &mut OpCounter, tag: &str, dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "copy length mismatch");
+    dst.copy_from_slice(src);
+    counter.record(MemOp::Copy, tag, src.len());
+}
+
+/// Moves bytes within a buffer (`memmove` semantics: ranges may overlap).
+///
+/// # Panics
+///
+/// Panics if either range is out of bounds.
+pub fn move_within(
+    counter: &mut OpCounter,
+    tag: &str,
+    buf: &mut [u8],
+    src_start: usize,
+    dst_start: usize,
+    len: usize,
+) {
+    assert!(src_start + len <= buf.len() && dst_start + len <= buf.len());
+    buf.copy_within(src_start..src_start + len, dst_start);
+    counter.record(MemOp::Move, tag, len);
+}
+
+/// Fills `dst` with `value`.
+pub fn set(counter: &mut OpCounter, tag: &str, dst: &mut [u8], value: u8) {
+    dst.fill(value);
+    counter.record(MemOp::Set, tag, dst.len());
+}
+
+/// Compares two buffers, returning their ordering.
+#[must_use]
+pub fn compare(counter: &mut OpCounter, tag: &str, a: &[u8], b: &[u8]) -> std::cmp::Ordering {
+    counter.record(MemOp::Compare, tag, a.len().min(b.len()));
+    a.cmp(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn copy_copies_and_counts() {
+        let mut c = OpCounter::new();
+        let src = [1u8, 2, 3, 4];
+        let mut dst = [0u8; 4];
+        copy(&mut c, "serialization", &mut dst, &src);
+        assert_eq!(dst, src);
+        assert_eq!(c.get(MemOp::Copy, "serialization"), (1, 4));
+        assert_eq!(c.get(MemOp::Copy, "io"), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn copy_rejects_mismatched_lengths() {
+        let mut c = OpCounter::new();
+        let mut dst = [0u8; 3];
+        copy(&mut c, "x", &mut dst, &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn move_handles_overlap() {
+        let mut c = OpCounter::new();
+        let mut buf = [1u8, 2, 3, 4, 5, 6];
+        // Shift [1,2,3,4] right by two — overlapping ranges.
+        move_within(&mut c, "io", &mut buf, 0, 2, 4);
+        assert_eq!(buf, [1, 2, 1, 2, 3, 4]);
+        assert_eq!(c.total(MemOp::Move), (1, 4));
+    }
+
+    #[test]
+    fn set_fills() {
+        let mut c = OpCounter::new();
+        let mut buf = [0u8; 8];
+        set(&mut c, "init", &mut buf, 0x5A);
+        assert!(buf.iter().all(|&b| b == 0x5A));
+        assert_eq!(c.total(MemOp::Set), (1, 8));
+    }
+
+    #[test]
+    fn compare_orders_and_counts_min_len() {
+        let mut c = OpCounter::new();
+        assert_eq!(compare(&mut c, "kv", b"abc", b"abd"), Ordering::Less);
+        assert_eq!(compare(&mut c, "kv", b"abc", b"ab"), Ordering::Greater);
+        assert_eq!(compare(&mut c, "kv", b"abc", b"abc"), Ordering::Equal);
+        let (invocations, bytes) = c.total(MemOp::Compare);
+        assert_eq!(invocations, 3);
+        assert_eq!(bytes, 3 + 2 + 3);
+    }
+
+    #[test]
+    fn attribution_reproduces_copy_origins() {
+        let mut c = OpCounter::new();
+        let mut buf = [0u8; 100];
+        copy(&mut c, "io-pre-post", &mut buf[..60], &[1u8; 60]);
+        copy(&mut c, "serialization", &mut buf[..30], &[2u8; 30]);
+        copy(&mut c, "application-logic", &mut buf[..10], &[3u8; 10]);
+        let shares = c.attribution(MemOp::Copy);
+        assert_eq!(shares.len(), 3);
+        assert_eq!(shares[0].0, "io-pre-post");
+        assert!((shares[0].1 - 0.6).abs() < 1e-12);
+        assert!((shares[1].1 - 0.3).abs() < 1e-12);
+        // Shares sum to 1.
+        let total: f64 = shares.iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_attribution() {
+        let c = OpCounter::new();
+        assert!(c.attribution(MemOp::Copy).is_empty());
+        assert_eq!(c.total(MemOp::Copy), (0, 0));
+    }
+
+    #[test]
+    fn tags_are_isolated_across_ops() {
+        let mut c = OpCounter::new();
+        let mut buf = [0u8; 4];
+        copy(&mut c, "x", &mut buf, &[1, 2, 3, 4]);
+        set(&mut c, "x", &mut buf, 0);
+        assert_eq!(c.get(MemOp::Copy, "x"), (1, 4));
+        assert_eq!(c.get(MemOp::Set, "x"), (1, 4));
+        assert_eq!(c.get(MemOp::Move, "x"), (0, 0));
+    }
+}

@@ -1,0 +1,381 @@
+//! Multilayer-perceptron inference: the ML kernel of Feed1/Feed2/Ads1
+//! (§2.1 notes the inference services use Multilayer Perceptrons).
+//!
+//! Deliberately scalar and allocation-free in the hot path, so the
+//! per-inference cost measured by the harness represents unaccelerated
+//! host inference — the `α·C` the remote-inference case study offloads.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Errors constructing or evaluating an MLP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MlpError {
+    /// A layer's weight matrix does not match its declared dimensions.
+    ShapeMismatch {
+        /// Layer index.
+        layer: usize,
+        /// Expected weight count (`inputs × outputs`).
+        expected: usize,
+        /// Actual weight count supplied.
+        actual: usize,
+    },
+    /// Consecutive layers disagree on their shared dimension.
+    LayerMismatch {
+        /// Index of the later layer.
+        layer: usize,
+        /// The previous layer's output width.
+        expected_inputs: usize,
+        /// The later layer's declared input width.
+        actual_inputs: usize,
+    },
+    /// The input vector's length does not match the first layer.
+    InputMismatch {
+        /// Expected input width.
+        expected: usize,
+        /// Supplied input width.
+        actual: usize,
+    },
+    /// The network has no layers.
+    Empty,
+}
+
+impl fmt::Display for MlpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlpError::ShapeMismatch {
+                layer,
+                expected,
+                actual,
+            } => write!(f, "layer {layer}: expected {expected} weights, got {actual}"),
+            MlpError::LayerMismatch {
+                layer,
+                expected_inputs,
+                actual_inputs,
+            } => write!(
+                f,
+                "layer {layer}: expects {actual_inputs} inputs but previous layer outputs {expected_inputs}"
+            ),
+            MlpError::InputMismatch { expected, actual } => {
+                write!(f, "input has {actual} features, network expects {expected}")
+            }
+            MlpError::Empty => write!(f, "network has no layers"),
+        }
+    }
+}
+
+impl std::error::Error for MlpError {}
+
+/// The activation applied after a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Identity (used for output layers producing raw scores).
+    Linear,
+    /// Logistic sigmoid (used for click-probability outputs).
+    Sigmoid,
+}
+
+impl Activation {
+    fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Linear => x,
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+        }
+    }
+}
+
+/// One dense layer: `outputs = act(W·inputs + b)` with row-major `W`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Layer {
+    inputs: usize,
+    outputs: usize,
+    /// Row-major weights: `weights[o * inputs + i]`.
+    weights: Vec<f32>,
+    biases: Vec<f32>,
+    activation: Activation,
+}
+
+impl Layer {
+    /// Creates a dense layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlpError::ShapeMismatch`] if `weights.len()` is not
+    /// `inputs × outputs` or `biases.len()` is not `outputs`.
+    pub fn new(
+        inputs: usize,
+        outputs: usize,
+        weights: Vec<f32>,
+        biases: Vec<f32>,
+        activation: Activation,
+    ) -> Result<Self, MlpError> {
+        if weights.len() != inputs * outputs || biases.len() != outputs {
+            return Err(MlpError::ShapeMismatch {
+                layer: 0,
+                expected: inputs * outputs,
+                actual: weights.len(),
+            });
+        }
+        Ok(Self {
+            inputs,
+            outputs,
+            weights,
+            biases,
+            activation,
+        })
+    }
+
+    /// Deterministic pseudo-random layer for benchmarks and tests
+    /// (xorshift-seeded weights in [-0.5, 0.5)).
+    #[must_use]
+    pub fn seeded(inputs: usize, outputs: usize, activation: Activation, seed: u64) -> Self {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / (1u32 << 24) as f32 - 0.5
+        };
+        let weights = (0..inputs * outputs).map(|_| next()).collect();
+        let biases = (0..outputs).map(|_| next()).collect();
+        Self {
+            inputs,
+            outputs,
+            weights,
+            biases,
+            activation,
+        }
+    }
+
+    fn forward(&self, input: &[f32], output: &mut Vec<f32>) {
+        output.clear();
+        for o in 0..self.outputs {
+            let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
+            let mut acc = self.biases[o];
+            for (w, x) in row.iter().zip(input) {
+                acc += w * x;
+            }
+            output.push(self.activation.apply(acc));
+        }
+    }
+}
+
+/// A multilayer perceptron.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+}
+
+impl Mlp {
+    /// Builds a network from layers, validating that consecutive layers
+    /// agree on their shared dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlpError::Empty`] for zero layers or
+    /// [`MlpError::LayerMismatch`] for incompatible shapes.
+    pub fn new(layers: Vec<Layer>) -> Result<Self, MlpError> {
+        if layers.is_empty() {
+            return Err(MlpError::Empty);
+        }
+        for (i, pair) in layers.windows(2).enumerate() {
+            if pair[0].outputs != pair[1].inputs {
+                return Err(MlpError::LayerMismatch {
+                    layer: i + 1,
+                    expected_inputs: pair[0].outputs,
+                    actual_inputs: pair[1].inputs,
+                });
+            }
+        }
+        Ok(Self { layers })
+    }
+
+    /// A deterministic ReLU MLP with the given layer widths (e.g.
+    /// `[512, 256, 64, 1]`), sigmoid on the output layer — the shape of a
+    /// feed-ranking relevance model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given.
+    #[must_use]
+    pub fn seeded_ranker(widths: &[usize], seed: u64) -> Self {
+        assert!(widths.len() >= 2, "need at least input and output widths");
+        let layers = widths
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                let act = if i + 2 == widths.len() {
+                    Activation::Sigmoid
+                } else {
+                    Activation::Relu
+                };
+                Layer::seeded(w[0], w[1], act, seed.wrapping_add(i as u64 * 0x9E37_79B9))
+            })
+            .collect();
+        Self { layers }
+    }
+
+    /// The expected input width.
+    #[must_use]
+    pub fn input_width(&self) -> usize {
+        self.layers[0].inputs
+    }
+
+    /// The output width.
+    #[must_use]
+    pub fn output_width(&self) -> usize {
+        self.layers.last().expect("non-empty by construction").outputs
+    }
+
+    /// Number of multiply-accumulate operations per inference.
+    #[must_use]
+    pub fn macs(&self) -> usize {
+        self.layers.iter().map(|l| l.inputs * l.outputs).sum()
+    }
+
+    /// Runs inference on one feature vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlpError::InputMismatch`] if the feature vector's length
+    /// differs from [`Mlp::input_width`].
+    pub fn infer(&self, features: &[f32]) -> Result<Vec<f32>, MlpError> {
+        if features.len() != self.input_width() {
+            return Err(MlpError::InputMismatch {
+                expected: self.input_width(),
+                actual: features.len(),
+            });
+        }
+        let mut current = features.to_vec();
+        let mut next = Vec::new();
+        for layer in &self.layers {
+            layer.forward(&current, &mut next);
+            std::mem::swap(&mut current, &mut next);
+        }
+        Ok(current)
+    }
+
+    /// Runs inference on a batch, the way Ads1 batches offloads (§4,
+    /// case study 3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlpError::InputMismatch`] on the first mismatched
+    /// feature vector.
+    pub fn infer_batch(&self, batch: &[Vec<f32>]) -> Result<Vec<Vec<f32>>, MlpError> {
+        batch.iter().map(|f| self.infer(f)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hand_computed_forward_pass() {
+        // One layer: 2 inputs, 2 outputs, ReLU.
+        // W = [[1, 2], [-1, 1]], b = [0.5, -10].
+        let layer = Layer::new(
+            2,
+            2,
+            vec![1.0, 2.0, -1.0, 1.0],
+            vec![0.5, -10.0],
+            Activation::Relu,
+        )
+        .unwrap();
+        let mlp = Mlp::new(vec![layer]).unwrap();
+        let out = mlp.infer(&[3.0, 4.0]).unwrap();
+        // [1*3 + 2*4 + 0.5, relu(-3 + 4 - 10)] = [11.5, 0].
+        assert_eq!(out, vec![11.5, 0.0]);
+    }
+
+    #[test]
+    fn sigmoid_output_is_probability() {
+        let mlp = Mlp::seeded_ranker(&[32, 16, 1], 42);
+        let features: Vec<f32> = (0..32).map(|i| i as f32 / 32.0).collect();
+        let out = mlp.infer(&features).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out[0] > 0.0 && out[0] < 1.0);
+    }
+
+    #[test]
+    fn inference_is_deterministic() {
+        let mlp = Mlp::seeded_ranker(&[64, 32, 8, 1], 7);
+        let features = vec![0.25f32; 64];
+        assert_eq!(mlp.infer(&features).unwrap(), mlp.infer(&features).unwrap());
+        // Different seeds give different networks.
+        let other = Mlp::seeded_ranker(&[64, 32, 8, 1], 8);
+        assert_ne!(mlp.infer(&features).unwrap(), other.infer(&features).unwrap());
+    }
+
+    #[test]
+    fn shape_validation() {
+        assert!(matches!(
+            Layer::new(2, 2, vec![1.0; 3], vec![0.0; 2], Activation::Linear),
+            Err(MlpError::ShapeMismatch { .. })
+        ));
+        let a = Layer::seeded(4, 8, Activation::Relu, 1);
+        let b = Layer::seeded(9, 2, Activation::Linear, 2);
+        assert!(matches!(
+            Mlp::new(vec![a, b]),
+            Err(MlpError::LayerMismatch { layer: 1, .. })
+        ));
+        assert!(matches!(Mlp::new(vec![]), Err(MlpError::Empty)));
+    }
+
+    #[test]
+    fn input_width_validation() {
+        let mlp = Mlp::seeded_ranker(&[16, 1], 3);
+        assert!(matches!(
+            mlp.infer(&[0.0; 15]),
+            Err(MlpError::InputMismatch {
+                expected: 16,
+                actual: 15
+            })
+        ));
+    }
+
+    #[test]
+    fn macs_counts_multiplies() {
+        let mlp = Mlp::seeded_ranker(&[512, 256, 64, 1], 1);
+        assert_eq!(mlp.macs(), 512 * 256 + 256 * 64 + 64);
+        assert_eq!(mlp.input_width(), 512);
+        assert_eq!(mlp.output_width(), 1);
+    }
+
+    #[test]
+    fn batch_matches_individual() {
+        let mlp = Mlp::seeded_ranker(&[8, 4, 1], 11);
+        let batch: Vec<Vec<f32>> = (0..5)
+            .map(|i| (0..8).map(|j| (i * 8 + j) as f32 / 40.0).collect())
+            .collect();
+        let outs = mlp.infer_batch(&batch).unwrap();
+        for (f, o) in batch.iter().zip(&outs) {
+            assert_eq!(mlp.infer(f).unwrap(), *o);
+        }
+    }
+
+    #[test]
+    fn relu_clamps_negative() {
+        assert_eq!(Activation::Relu.apply(-5.0), 0.0);
+        assert_eq!(Activation::Relu.apply(5.0), 5.0);
+        assert_eq!(Activation::Linear.apply(-5.0), -5.0);
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = MlpError::InputMismatch {
+            expected: 4,
+            actual: 2,
+        };
+        assert!(e.to_string().contains('4'));
+        assert!(MlpError::Empty.to_string().contains("no layers"));
+    }
+}

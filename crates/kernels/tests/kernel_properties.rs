@@ -1,0 +1,174 @@
+//! Property-based tests for the kernel implementations: the invariants
+//! that must hold for arbitrary inputs, not just the known-answer
+//! vectors.
+
+use accelerometer_kernels::codec::KvMessage;
+use accelerometer_kernels::pipeline::RpcPipeline;
+use accelerometer_kernels::{aes, hash, lz, SizeClassAllocator};
+use proptest::prelude::*;
+
+fn kv_message_strategy() -> impl Strategy<Value = KvMessage> {
+    prop_oneof![
+        prop::collection::vec(any::<u8>(), 0..256).prop_map(|key| KvMessage::Get { key }),
+        (
+            prop::collection::vec(any::<u8>(), 0..128),
+            prop::collection::vec(any::<u8>(), 0..2048),
+            any::<u64>(),
+        )
+            .prop_map(|(key, value, ttl_seconds)| KvMessage::Set {
+                key,
+                value,
+                ttl_seconds
+            }),
+        prop::collection::vec(any::<u8>(), 0..2048).prop_map(|value| KvMessage::Hit { value }),
+        Just(KvMessage::Miss),
+    ]
+}
+
+proptest! {
+    /// LZ compression round-trips every byte string.
+    #[test]
+    fn lz_round_trips(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let compressed = lz::compress(&data);
+        let back = lz::decompress(&compressed).expect("compressor output decodes");
+        prop_assert_eq!(back, data);
+    }
+
+    /// Highly repetitive inputs always compress below 30%.
+    #[test]
+    fn lz_compresses_repetition(byte in any::<u8>(), reps in 256usize..4096) {
+        let data = vec![byte; reps];
+        let ratio = lz::compression_ratio(&data);
+        prop_assert!(ratio < 0.3, "ratio {} for {} × {:#04x}", ratio, reps, byte);
+    }
+
+    /// Decompression never panics on arbitrary (usually invalid) input.
+    #[test]
+    fn lz_decompress_is_total(data in prop::collection::vec(any::<u8>(), 0..1024)) {
+        let _ = lz::decompress(&data);
+    }
+
+    /// AES-CTR is a bijection: apply twice with the same counter to get
+    /// the plaintext back, for any key/counter/message.
+    #[test]
+    fn aes_ctr_round_trips(
+        key in prop::array::uniform16(any::<u8>()),
+        counter in prop::array::uniform16(any::<u8>()),
+        data in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let ciphertext = aes::encrypt_ctr(&key, &counter, &data);
+        prop_assert_eq!(ciphertext.len(), data.len());
+        let plaintext = aes::encrypt_ctr(&key, &counter, &ciphertext);
+        prop_assert_eq!(plaintext, data);
+    }
+
+    /// Distinct counters produce distinct keystreams (no reuse).
+    #[test]
+    fn aes_ctr_counters_differ(
+        key in prop::array::uniform16(any::<u8>()),
+        mut counter in prop::array::uniform16(any::<u8>()),
+    ) {
+        let data = vec![0u8; 64];
+        let c1 = aes::encrypt_ctr(&key, &counter, &data);
+        counter[0] ^= 0x01;
+        let c2 = aes::encrypt_ctr(&key, &counter, &data);
+        prop_assert_ne!(c1, c2);
+    }
+
+    /// SHA-256 is deterministic and sensitive to single-bit flips.
+    #[test]
+    fn sha256_avalanche(
+        data in prop::collection::vec(any::<u8>(), 1..512),
+        flip_byte in any::<prop::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let d1 = hash::sha256(&data);
+        prop_assert_eq!(d1, hash::sha256(&data));
+        let mut flipped = data.clone();
+        let idx = flip_byte.index(flipped.len());
+        flipped[idx] ^= 1 << flip_bit;
+        let d2 = hash::sha256(&flipped);
+        prop_assert_ne!(d1, d2);
+        // Avalanche: a substantial fraction of digest bits change.
+        let differing: u32 = d1.iter().zip(d2.iter()).map(|(a, b)| (a ^ b).count_ones()).sum();
+        prop_assert!(differing >= 64, "only {} bits changed", differing);
+    }
+
+    /// The allocator conserves its live count under arbitrary
+    /// alloc/free interleavings, serves every in-range request, and data
+    /// written through one handle is never clobbered by another.
+    #[test]
+    fn allocator_interleavings(ops in prop::collection::vec((1usize..4096, any::<bool>(), any::<u8>()), 1..200)) {
+        let mut alloc = SizeClassAllocator::new();
+        let mut live: Vec<(accelerometer_kernels::Allocation, u8)> = Vec::new();
+        for (size, do_free, fill) in ops {
+            if do_free && !live.is_empty() {
+                let (handle, expected) = live.swap_remove(0);
+                // Verify the data survived all intervening operations.
+                prop_assert!(alloc.data_mut(&handle).iter().all(|&b| b == expected));
+                alloc.free(handle);
+            } else {
+                let handle = alloc.alloc(size).expect("in-range allocation succeeds");
+                alloc.data_mut(&handle).fill(fill);
+                live.push((handle, fill));
+            }
+            prop_assert_eq!(alloc.live_allocations(), live.len() as u64);
+        }
+        // Drain, verifying every payload; use the sized free path.
+        for (handle, expected) in live {
+            prop_assert!(alloc.data_mut(&handle).iter().all(|&b| b == expected));
+            let size = handle.requested_bytes();
+            alloc.free_with_size(handle, size);
+        }
+        prop_assert_eq!(alloc.live_allocations(), 0);
+    }
+
+    /// Size classes round every size up, never down, and stay within 2×.
+    #[test]
+    fn size_classes_round_up_within_2x(size in 1usize..4096) {
+        let alloc = SizeClassAllocator::new();
+        let class = alloc.class_for(size).expect("covered");
+        prop_assert!(class >= size);
+        prop_assert!(class < size * 2 + 8, "class {} too loose for {}", class, size);
+    }
+
+    /// The RPC codec round-trips every message.
+    #[test]
+    fn codec_round_trips(message in kv_message_strategy()) {
+        let encoded = message.encode();
+        let decoded = KvMessage::decode(&encoded).expect("codec output decodes");
+        prop_assert_eq!(decoded, message);
+    }
+
+    /// The codec never panics on arbitrary bytes.
+    #[test]
+    fn codec_decode_is_total(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = KvMessage::decode(&bytes);
+    }
+
+    /// The full RPC pipeline (serialize → compress → encrypt → frame and
+    /// back) round-trips every message under every key.
+    #[test]
+    fn pipeline_round_trips(
+        message in kv_message_strategy(),
+        key in prop::array::uniform16(any::<u8>()),
+    ) {
+        let mut sender = RpcPipeline::new(&key);
+        let mut receiver = RpcPipeline::new(&key);
+        let frame = sender.seal(&message);
+        let back = receiver.open(&frame).expect("pipeline round trip");
+        prop_assert_eq!(back, message);
+    }
+
+    /// Opening arbitrary garbage never panics and never yields a message
+    /// (the checksum gate).
+    #[test]
+    fn pipeline_open_is_total(
+        bytes in prop::collection::vec(any::<u8>(), 0..512),
+        key in prop::array::uniform16(any::<u8>()),
+    ) {
+        let mut receiver = RpcPipeline::new(&key);
+        let result = receiver.open(&bytes);
+        prop_assert!(result.is_err());
+    }
+}

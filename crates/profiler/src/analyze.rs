@@ -1,0 +1,272 @@
+//! Aggregation: the downstream half of the §2.2 pipeline.
+//!
+//! Tags each trace's leaf, buckets each trace's root into a
+//! functionality, sums cycles per category, and computes per-category
+//! IPC as the ratio of aggregated instructions to aggregated cycles —
+//! exactly the paper's described method ("to determine a category's IPC,
+//! we determine the ratio of aggregated instruction and cycle counts for
+//! functions in that category").
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use accelerometer_fleet::{Breakdown, FunctionalityCategory, LeafCategory, MemoryOp};
+
+use crate::registry::FunctionRegistry;
+use crate::trace::CallTrace;
+
+/// The aggregated characterization of a trace sample: the profiler's
+/// reconstruction of Figs. 1, 2, and 9 for one service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileReport {
+    /// Reconstructed leaf-category breakdown (Fig. 2).
+    pub leaf: Breakdown<LeafCategory>,
+    /// Reconstructed functionality breakdown (Fig. 9).
+    pub functionality: Breakdown<FunctionalityCategory>,
+    /// Per-leaf-category IPC (aggregated instructions / cycles).
+    pub leaf_ipc: Vec<(LeafCategory, f64)>,
+    /// Per-functionality IPC.
+    pub functionality_ipc: Vec<(FunctionalityCategory, f64)>,
+    /// Reconstructed Fig. 3 sub-breakdown: each memory operation's share
+    /// of *memory* cycles (empty when no memory leaves were sampled).
+    pub memory_ops: Vec<(MemoryOp, f64)>,
+    /// Total cycles across the sample.
+    pub total_cycles: f64,
+    /// Number of traces aggregated.
+    pub samples: usize,
+}
+
+impl ProfileReport {
+    /// The Fig. 1 split: percent of cycles in core application logic.
+    #[must_use]
+    pub fn core_percent(&self) -> f64 {
+        self.functionality.percent_where(FunctionalityCategory::is_core)
+    }
+
+    /// The Fig. 1 split: percent of cycles in orchestration work.
+    #[must_use]
+    pub fn orchestration_percent(&self) -> f64 {
+        100.0 - self.core_percent()
+    }
+
+    /// A memory operation's share of memory cycles (percent).
+    #[must_use]
+    pub fn memory_op_percent(&self, op: MemoryOp) -> f64 {
+        self.memory_ops
+            .iter()
+            .find(|(o, _)| *o == op)
+            .map_or(0.0, |(_, pct)| *pct)
+    }
+
+    /// IPC for one leaf category, if any cycles landed there.
+    #[must_use]
+    pub fn ipc_of(&self, category: LeafCategory) -> Option<f64> {
+        self.leaf_ipc
+            .iter()
+            .find(|(c, _)| *c == category)
+            .map(|(_, ipc)| *ipc)
+    }
+
+    /// Renders the report as fixed-width text tables.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "samples: {}  total cycles: {:.0}", self.samples, self.total_cycles);
+        let _ = writeln!(out, "-- functionality breakdown (Fig. 9) --");
+        for (cat, pct) in self.functionality.iter() {
+            let _ = writeln!(out, "{:<28} {:>5.1}%", cat.to_string(), pct);
+        }
+        let _ = writeln!(out, "-- leaf breakdown (Fig. 2) --");
+        for (cat, pct) in self.leaf.iter() {
+            let _ = writeln!(out, "{:<28} {:>5.1}%", cat.to_string(), pct);
+        }
+        let _ = writeln!(
+            out,
+            "core {:.1}% vs orchestration {:.1}% (Fig. 1)",
+            self.core_percent(),
+            self.orchestration_percent()
+        );
+        out
+    }
+}
+
+/// Aggregates a trace sample into a [`ProfileReport`].
+///
+/// # Panics
+///
+/// Panics if `traces` is empty — there is nothing to characterize.
+#[must_use]
+pub fn analyze(traces: &[CallTrace], registry: &FunctionRegistry) -> ProfileReport {
+    assert!(!traces.is_empty(), "cannot analyze an empty trace sample");
+    let mut leaf_cycles: HashMap<LeafCategory, (f64, f64)> = HashMap::new();
+    let mut func_cycles: HashMap<FunctionalityCategory, (f64, f64)> = HashMap::new();
+    let mut memory_op_cycles: HashMap<MemoryOp, f64> = HashMap::new();
+    let mut total_cycles = 0.0;
+
+    for trace in traces {
+        let leaf = registry.tag_leaf(trace.leaf());
+        let functionality = registry.bucket_root(trace.root());
+        let l = leaf_cycles.entry(leaf).or_insert((0.0, 0.0));
+        l.0 += trace.cycles;
+        l.1 += trace.instructions;
+        let f = func_cycles.entry(functionality).or_insert((0.0, 0.0));
+        f.0 += trace.cycles;
+        f.1 += trace.instructions;
+        if let Some(op) = registry.tag_memory_op(trace.leaf()) {
+            *memory_op_cycles.entry(op).or_insert(0.0) += trace.cycles;
+        }
+        total_cycles += trace.cycles;
+    }
+
+    let leaf_entries: Vec<(LeafCategory, f64)> = LeafCategory::ALL
+        .iter()
+        .filter_map(|&c| leaf_cycles.get(&c).map(|(cy, _)| (c, 100.0 * cy / total_cycles)))
+        .collect();
+    let func_entries: Vec<(FunctionalityCategory, f64)> = FunctionalityCategory::ALL
+        .iter()
+        .filter_map(|&c| func_cycles.get(&c).map(|(cy, _)| (c, 100.0 * cy / total_cycles)))
+        .collect();
+    let leaf_ipc = LeafCategory::ALL
+        .iter()
+        .filter_map(|&c| leaf_cycles.get(&c).map(|(cy, ins)| (c, ins / cy)))
+        .collect();
+    let functionality_ipc = FunctionalityCategory::ALL
+        .iter()
+        .filter_map(|&c| func_cycles.get(&c).map(|(cy, ins)| (c, ins / cy)))
+        .collect();
+    let memory_total: f64 = memory_op_cycles.values().sum();
+    let memory_ops = if memory_total > 0.0 {
+        MemoryOp::ALL
+            .iter()
+            .filter_map(|&op| {
+                memory_op_cycles
+                    .get(&op)
+                    .map(|cy| (op, 100.0 * cy / memory_total))
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    ProfileReport {
+        leaf: Breakdown::complete(leaf_entries).expect("cycle shares sum to 100"),
+        functionality: Breakdown::complete(func_entries).expect("cycle shares sum to 100"),
+        leaf_ipc,
+        functionality_ipc,
+        memory_ops,
+        total_cycles,
+        samples: traces.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> FunctionRegistry {
+        FunctionRegistry::with_defaults()
+    }
+
+    fn trace(root: &str, leaf: &str, cycles: f64, ipc: f64) -> CallTrace {
+        CallTrace::new(
+            vec![root.to_owned(), "mid".to_owned(), leaf.to_owned()],
+            cycles,
+            cycles * ipc,
+        )
+    }
+
+    #[test]
+    fn aggregates_cycles_by_category() {
+        let traces = vec![
+            trace("svc::io::send", "memcpy", 600.0, 0.9),
+            trace("svc::app::serve", "std::sort", 300.0, 1.6),
+            trace("svc::app::serve", "memcpy", 100.0, 0.9),
+        ];
+        let report = analyze(&traces, &registry());
+        assert_eq!(report.samples, 3);
+        assert_eq!(report.total_cycles, 1000.0);
+        assert_eq!(report.leaf.percent(LeafCategory::Memory), 70.0);
+        assert_eq!(report.leaf.percent(LeafCategory::CLibraries), 30.0);
+        assert_eq!(
+            report.functionality.percent(FunctionalityCategory::SecureInsecureIo),
+            60.0
+        );
+        assert_eq!(
+            report.functionality.percent(FunctionalityCategory::ApplicationLogic),
+            40.0
+        );
+    }
+
+    #[test]
+    fn ipc_is_aggregate_ratio_not_mean_of_ratios() {
+        // Two memory traces with different IPCs: the category IPC must be
+        // Σinstr/Σcycles, weighted by cycles.
+        let traces = vec![
+            trace("svc::app::x", "memcpy", 900.0, 1.0),
+            trace("svc::app::x", "memset", 100.0, 0.0),
+        ];
+        let report = analyze(&traces, &registry());
+        let ipc = report.ipc_of(LeafCategory::Memory).unwrap();
+        assert!((ipc - 0.9).abs() < 1e-12);
+        assert!(report.ipc_of(LeafCategory::Ssl).is_none());
+    }
+
+    #[test]
+    fn memory_op_sub_breakdown() {
+        let traces = vec![
+            trace("svc::app::x", "memcpy", 540.0, 1.0),
+            trace("svc::app::x", "free", 180.0, 1.0),
+            trace("svc::app::x", "malloc", 210.0, 1.0),
+            trace("svc::app::x", "memset", 70.0, 1.0),
+            trace("svc::io::y", "tcp_sendmsg", 1_000.0, 0.4),
+        ];
+        let report = analyze(&traces, &registry());
+        // Shares are of *memory* cycles (1,000 total), not total cycles.
+        assert!((report.memory_op_percent(MemoryOp::Copy) - 54.0).abs() < 1e-9);
+        assert!((report.memory_op_percent(MemoryOp::Free) - 18.0).abs() < 1e-9);
+        assert!((report.memory_op_percent(MemoryOp::Allocation) - 21.0).abs() < 1e-9);
+        assert!((report.memory_op_percent(MemoryOp::Set) - 7.0).abs() < 1e-9);
+        assert_eq!(report.memory_op_percent(MemoryOp::Move), 0.0);
+        // No memory samples → empty sub-breakdown.
+        let io_only = analyze(&[trace("svc::io::y", "tcp_sendmsg", 10.0, 0.4)], &registry());
+        assert!(io_only.memory_ops.is_empty());
+    }
+
+    #[test]
+    fn core_vs_orchestration_split() {
+        let traces = vec![
+            trace("svc::app::serve", "std::sort", 18.0, 1.0),
+            trace("svc::log::update", "memcpy", 23.0, 1.0),
+            trace("svc::io::send", "tcp_sendmsg", 59.0, 1.0),
+        ];
+        let report = analyze(&traces, &registry());
+        assert!((report.core_percent() - 18.0).abs() < 1e-9);
+        assert!((report.orchestration_percent() - 82.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_symbols_become_miscellaneous() {
+        let traces = vec![trace("main", "mystery_fn", 100.0, 1.0)];
+        let report = analyze(&traces, &registry());
+        assert_eq!(report.leaf.percent(LeafCategory::Miscellaneous), 100.0);
+        assert_eq!(
+            report.functionality.percent(FunctionalityCategory::Miscellaneous),
+            100.0
+        );
+    }
+
+    #[test]
+    fn render_is_human_readable() {
+        let traces = vec![trace("svc::app::serve", "memcpy", 100.0, 1.0)];
+        let text = analyze(&traces, &registry()).render();
+        assert!(text.contains("functionality breakdown"));
+        assert!(text.contains("Memory"));
+        assert!(text.contains("core"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace sample")]
+    fn empty_sample_panics() {
+        let _ = analyze(&[], &registry());
+    }
+}

@@ -1,0 +1,216 @@
+//! Synthetic trace generation: stands in for sampling a production
+//! microservice under live traffic.
+//!
+//! Each generated sample picks a functionality (Fig. 9 marginal) and a
+//! leaf category (Fig. 2 marginal) from the service's profile, draws an
+//! exponential cycle weight, and derives instructions from the per-leaf
+//! IPC model — so the aggregation pipeline downstream must reconstruct
+//! the profile's marginals and IPCs as the sample count grows.
+
+use accelerometer_fleet::ipc::cache1_leaf_ipc;
+use accelerometer_fleet::{
+    CpuGeneration, FunctionalityCategory, LeafCategory, MemoryOp, ServiceId, ServiceProfile,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::registry::FunctionRegistry;
+use crate::trace::CallTrace;
+
+/// Default per-leaf-category IPC used for services whose IPC the paper
+/// does not report (Fig. 8 covers only Cache1). Values mirror the
+/// paper's qualitative claims: kernel lowest, C libraries highest, all
+/// below half the 4.0 peak.
+#[must_use]
+pub fn default_leaf_ipc(category: LeafCategory) -> f64 {
+    match category {
+        LeafCategory::Memory => 0.9,
+        LeafCategory::Kernel => 0.4,
+        LeafCategory::Hashing => 1.3,
+        LeafCategory::Synchronization => 0.6,
+        LeafCategory::Zstd => 1.3,
+        LeafCategory::Math => 1.8,
+        LeafCategory::Ssl => 1.2,
+        LeafCategory::CLibraries => 1.6,
+        LeafCategory::Miscellaneous => 1.0,
+    }
+}
+
+/// IPC for a service's leaf category on a CPU generation: Cache1 uses the
+/// Fig. 8 data where available, everything else the default table.
+#[must_use]
+pub fn leaf_ipc(service: ServiceId, category: LeafCategory, generation: CpuGeneration) -> f64 {
+    if service == ServiceId::Cache1 {
+        if let Some(scaling) = cache1_leaf_ipc(category) {
+            return scaling.for_generation(generation);
+        }
+    }
+    default_leaf_ipc(category)
+}
+
+/// The synthetic sampler.
+#[derive(Debug)]
+pub struct TraceGenerator {
+    profile: ServiceProfile,
+    registry: FunctionRegistry,
+    generation: CpuGeneration,
+    mean_cycles: f64,
+    rng: StdRng,
+}
+
+impl TraceGenerator {
+    /// Creates a deterministic generator for a service on GenC hardware.
+    #[must_use]
+    pub fn new(profile: ServiceProfile, seed: u64) -> Self {
+        Self {
+            profile,
+            registry: FunctionRegistry::with_defaults(),
+            generation: CpuGeneration::GenC,
+            mean_cycles: 1_000.0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Overrides the CPU generation (for the IPC-scaling studies).
+    #[must_use]
+    pub fn on_generation(mut self, generation: CpuGeneration) -> Self {
+        self.generation = generation;
+        self
+    }
+
+    /// The registry the generator names functions from.
+    #[must_use]
+    pub fn registry(&self) -> &FunctionRegistry {
+        &self.registry
+    }
+
+    fn pick_weighted<C: Copy>(rng: &mut StdRng, entries: &[(C, f64)]) -> C {
+        let total: f64 = entries.iter().map(|(_, w)| w).sum();
+        let mut point = rng.gen_range(0.0..total);
+        for (cat, w) in entries {
+            if point < *w {
+                return *cat;
+            }
+            point -= w;
+        }
+        entries.last().expect("non-empty breakdown").0
+    }
+
+    /// Generates one sampled call trace.
+    pub fn sample(&mut self) -> CallTrace {
+        let functionality: FunctionalityCategory = {
+            let entries: Vec<(FunctionalityCategory, f64)> =
+                self.profile.functionality.iter().collect();
+            Self::pick_weighted(&mut self.rng, &entries)
+        };
+        let leaf_category: LeafCategory = {
+            let entries: Vec<(LeafCategory, f64)> = self.profile.leaves.iter().collect();
+            Self::pick_weighted(&mut self.rng, &entries)
+        };
+
+        let root = format!(
+            "{}handle_request",
+            self.registry.root_prefix(functionality)
+        );
+        // Memory leaves honor the service's Fig. 3 operation mix so the
+        // analyzer can reconstruct the memory-op sub-breakdown; other
+        // categories pick a representative symbol uniformly.
+        let leaf = if leaf_category == LeafCategory::Memory {
+            let entries: Vec<(MemoryOp, f64)> = self.profile.memory_ops.iter().collect();
+            let op = Self::pick_weighted(&mut self.rng, &entries);
+            let symbols = self.registry.memory_symbols(op);
+            symbols[self.rng.gen_range(0..symbols.len())].to_owned()
+        } else {
+            let symbols = self.registry.leaf_symbols(leaf_category);
+            symbols[self.rng.gen_range(0..symbols.len())].to_owned()
+        };
+
+        // A few plausible intermediate frames.
+        let depth = self.rng.gen_range(1..=3);
+        let mut frames = Vec::with_capacity(depth + 2);
+        frames.push(root);
+        for d in 0..depth {
+            frames.push(format!("rpc::layer_{d}::dispatch"));
+        }
+        frames.push(leaf);
+
+        // Exponential cycle weight; IPC model supplies instructions.
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        let cycles = -((1.0 - u).ln()) * self.mean_cycles;
+        let ipc = leaf_ipc(self.profile.id, leaf_category, self.generation);
+        CallTrace::new(frames, cycles, cycles * ipc)
+    }
+
+    /// Generates a batch of samples.
+    pub fn generate(&mut self, samples: usize) -> Vec<CallTrace> {
+        (0..samples).map(|_| self.sample()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accelerometer_fleet::profile;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut a = TraceGenerator::new(profile(ServiceId::Web), 42);
+        let mut b = TraceGenerator::new(profile(ServiceId::Web), 42);
+        assert_eq!(a.generate(50), b.generate(50));
+        let mut c = TraceGenerator::new(profile(ServiceId::Web), 43);
+        assert_ne!(a.generate(50), c.generate(50));
+    }
+
+    #[test]
+    fn traces_are_well_formed() {
+        let mut generator = TraceGenerator::new(profile(ServiceId::Cache1), 7);
+        for t in generator.generate(200) {
+            assert!(t.depth() >= 3, "root + intermediate + leaf");
+            assert!(t.root().starts_with("svc::"));
+            assert!(t.cycles > 0.0);
+            assert!(t.instructions > 0.0);
+            assert!(t.ipc() < 4.0, "IPC above theoretical peak");
+        }
+    }
+
+    #[test]
+    fn cache1_uses_fig8_ipc() {
+        assert_eq!(
+            leaf_ipc(ServiceId::Cache1, LeafCategory::Kernel, CpuGeneration::GenC),
+            0.38
+        );
+        assert_eq!(
+            leaf_ipc(ServiceId::Cache1, LeafCategory::Kernel, CpuGeneration::GenA),
+            0.35
+        );
+        // Categories Fig. 8 doesn't cover use the default table.
+        assert_eq!(
+            leaf_ipc(ServiceId::Cache1, LeafCategory::Math, CpuGeneration::GenC),
+            default_leaf_ipc(LeafCategory::Math)
+        );
+        // Other services always use the default table.
+        assert_eq!(
+            leaf_ipc(ServiceId::Web, LeafCategory::Kernel, CpuGeneration::GenC),
+            0.4
+        );
+    }
+
+    #[test]
+    fn default_ipc_respects_paper_ordering() {
+        // Kernel is the lowest; C libraries among the highest; all below
+        // half the 4.0 peak.
+        for &cat in LeafCategory::ALL {
+            let ipc = default_leaf_ipc(cat);
+            assert!(ipc >= default_leaf_ipc(LeafCategory::Kernel));
+            assert!(ipc < 2.0);
+        }
+    }
+
+    #[test]
+    fn generation_override() {
+        let mut generator =
+            TraceGenerator::new(profile(ServiceId::Cache1), 3).on_generation(CpuGeneration::GenA);
+        let traces = generator.generate(100);
+        assert_eq!(traces.len(), 100);
+    }
+}

@@ -1,0 +1,257 @@
+//! Accelerator device models: where an offload executes and how it
+//! queues.
+//!
+//! The strategy determines the sharing discipline: an on-chip
+//! optimization (AES-NI, AVX) is replicated per core, so offloads never
+//! queue across cores; an off-chip device (PCIe ASIC) is a shared
+//! single- or multi-server FIFO where queueing delay *emerges* from
+//! load; a remote accelerator (a pool of remote CPUs) is effectively
+//! unlimited and contributes only its service latency.
+
+use accelerometer::AccelerationStrategy;
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// The sharing discipline of the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum DeviceKind {
+    /// One private device per core (on-chip): never queues.
+    PerCore,
+    /// A shared FIFO device with `servers` parallel service units.
+    Shared {
+        /// Number of parallel service units.
+        servers: usize,
+    },
+    /// Unlimited parallel servers (a remote pool).
+    Unlimited,
+}
+
+impl DeviceKind {
+    /// The paper's default discipline for a strategy.
+    #[must_use]
+    pub fn default_for(strategy: AccelerationStrategy) -> Self {
+        match strategy {
+            AccelerationStrategy::OnChip => DeviceKind::PerCore,
+            AccelerationStrategy::OffChip => DeviceKind::Shared { servers: 1 },
+            AccelerationStrategy::Remote => DeviceKind::Unlimited,
+        }
+    }
+}
+
+/// A dispatch outcome: when the offload's service starts and completes,
+/// and how long it queued.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dispatch {
+    /// When the offload arrived at the device (after the interface hop).
+    pub arrival: SimTime,
+    /// When service began.
+    pub service_start: SimTime,
+    /// When service completed.
+    pub done: SimTime,
+    /// Queueing delay in cycles (`service_start − arrival`).
+    pub queue_delay: f64,
+}
+
+/// A simulated accelerator device.
+#[derive(Debug, Clone)]
+pub struct Device {
+    kind: DeviceKind,
+    /// One-way interface latency in cycles (`L`).
+    interface_latency: f64,
+    /// `next_free[i]` for each server (PerCore: indexed by core).
+    next_free: Vec<SimTime>,
+    busy_cycles: f64,
+    offloads: u64,
+    queue_delay_total: f64,
+}
+
+impl Device {
+    /// Creates a device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interface_latency` is negative or a shared device has
+    /// zero servers.
+    #[must_use]
+    pub fn new(kind: DeviceKind, interface_latency: f64, cores: usize) -> Self {
+        assert!(interface_latency >= 0.0, "negative interface latency");
+        let servers = match kind {
+            DeviceKind::PerCore => cores,
+            DeviceKind::Shared { servers } => {
+                assert!(servers > 0, "shared device needs at least one server");
+                servers
+            }
+            DeviceKind::Unlimited => 0,
+        };
+        Self {
+            kind,
+            interface_latency,
+            next_free: vec![SimTime::ZERO; servers],
+            busy_cycles: 0.0,
+            offloads: 0,
+            queue_delay_total: 0.0,
+        }
+    }
+
+    /// The sharing discipline.
+    #[must_use]
+    pub fn kind(&self) -> DeviceKind {
+        self.kind
+    }
+
+    /// Dispatches an offload issued at `now` from `core`, with the given
+    /// device service time in cycles. FIFO within each server; shared
+    /// devices pick the earliest-free server.
+    pub fn dispatch(&mut self, now: SimTime, core: usize, service_cycles: f64) -> Dispatch {
+        let arrival = now + self.interface_latency;
+        let service_start = match self.kind {
+            DeviceKind::PerCore => {
+                let slot = &mut self.next_free[core];
+                let start = arrival.max(*slot);
+                *slot = start + service_cycles;
+                start
+            }
+            DeviceKind::Shared { .. } => {
+                let slot = self
+                    .next_free
+                    .iter_mut()
+                    .min_by_key(|t| **t)
+                    .expect("shared device has servers");
+                let start = arrival.max(*slot);
+                *slot = start + service_cycles;
+                start
+            }
+            DeviceKind::Unlimited => arrival,
+        };
+        let done = service_start + service_cycles;
+        self.busy_cycles += service_cycles;
+        self.offloads += 1;
+        self.queue_delay_total += service_start - arrival;
+        Dispatch {
+            arrival,
+            service_start,
+            done,
+            queue_delay: service_start - arrival,
+        }
+    }
+
+    /// Total offloads dispatched.
+    #[must_use]
+    pub fn offloads(&self) -> u64 {
+        self.offloads
+    }
+
+    /// Mean queueing delay per offload (the model's empirical `Q`).
+    #[must_use]
+    pub fn mean_queue_delay(&self) -> f64 {
+        if self.offloads == 0 {
+            0.0
+        } else {
+            self.queue_delay_total / self.offloads as f64
+        }
+    }
+
+    /// Device utilization over a horizon of `horizon` cycles.
+    #[must_use]
+    pub fn utilization(&self, horizon: f64) -> f64 {
+        let capacity = match self.kind {
+            DeviceKind::Unlimited => return 0.0,
+            DeviceKind::PerCore | DeviceKind::Shared { .. } => {
+                self.next_free.len() as f64 * horizon
+            }
+        };
+        self.busy_cycles / capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_disciplines_match_strategies() {
+        assert_eq!(
+            DeviceKind::default_for(AccelerationStrategy::OnChip),
+            DeviceKind::PerCore
+        );
+        assert_eq!(
+            DeviceKind::default_for(AccelerationStrategy::OffChip),
+            DeviceKind::Shared { servers: 1 }
+        );
+        assert_eq!(
+            DeviceKind::default_for(AccelerationStrategy::Remote),
+            DeviceKind::Unlimited
+        );
+    }
+
+    #[test]
+    fn per_core_devices_never_queue_across_cores() {
+        let mut d = Device::new(DeviceKind::PerCore, 10.0, 2);
+        let a = d.dispatch(SimTime::new(0.0), 0, 100.0);
+        let b = d.dispatch(SimTime::new(0.0), 1, 100.0);
+        assert_eq!(a.queue_delay, 0.0);
+        assert_eq!(b.queue_delay, 0.0);
+        assert_eq!(a.done.cycles(), 110.0);
+        // Same core back-to-back does queue behind itself.
+        let c = d.dispatch(SimTime::new(0.0), 0, 100.0);
+        assert!(c.queue_delay > 0.0);
+    }
+
+    #[test]
+    fn shared_device_queues_fifo() {
+        let mut d = Device::new(DeviceKind::Shared { servers: 1 }, 0.0, 4);
+        let a = d.dispatch(SimTime::new(0.0), 0, 100.0);
+        let b = d.dispatch(SimTime::new(10.0), 1, 100.0);
+        assert_eq!(a.done.cycles(), 100.0);
+        assert_eq!(b.service_start.cycles(), 100.0);
+        assert_eq!(b.queue_delay, 90.0);
+        assert_eq!(b.done.cycles(), 200.0);
+        assert!((d.mean_queue_delay() - 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_server_shared_device_parallelizes() {
+        let mut d = Device::new(DeviceKind::Shared { servers: 2 }, 0.0, 4);
+        let a = d.dispatch(SimTime::new(0.0), 0, 100.0);
+        let b = d.dispatch(SimTime::new(0.0), 1, 100.0);
+        assert_eq!(a.queue_delay, 0.0);
+        assert_eq!(b.queue_delay, 0.0);
+        let c = d.dispatch(SimTime::new(0.0), 2, 100.0);
+        assert_eq!(c.queue_delay, 100.0);
+    }
+
+    #[test]
+    fn unlimited_devices_never_queue() {
+        let mut d = Device::new(DeviceKind::Unlimited, 1_000.0, 1);
+        for i in 0..100 {
+            let dispatch = d.dispatch(SimTime::new(f64::from(i)), 0, 50_000.0);
+            assert_eq!(dispatch.queue_delay, 0.0);
+            assert_eq!(dispatch.arrival.cycles(), f64::from(i) + 1_000.0);
+        }
+        assert_eq!(d.utilization(1e6), 0.0);
+    }
+
+    #[test]
+    fn interface_latency_delays_arrival() {
+        let mut d = Device::new(DeviceKind::Shared { servers: 1 }, 2_300.0, 1);
+        let dispatch = d.dispatch(SimTime::new(100.0), 0, 50.0);
+        assert_eq!(dispatch.arrival.cycles(), 2_400.0);
+        assert_eq!(dispatch.done.cycles(), 2_450.0);
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut d = Device::new(DeviceKind::Shared { servers: 1 }, 0.0, 1);
+        d.dispatch(SimTime::new(0.0), 0, 400.0);
+        assert!((d.utilization(1_000.0) - 0.4).abs() < 1e-12);
+        assert_eq!(d.offloads(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_server_shared_rejected() {
+        let _ = Device::new(DeviceKind::Shared { servers: 0 }, 0.0, 1);
+    }
+}

@@ -1,0 +1,59 @@
+//! # accelerometer-sim
+//!
+//! A discrete-event microservice simulator providing the *measurement*
+//! substrate for the Accelerometer reproduction: where the paper A/B
+//! tests accelerators on production servers (§4), this crate A/B tests
+//! them on a simulated host — cores, an oversubscribed thread pool, a
+//! scheduler that charges real context-switch cycles, and accelerator
+//! devices (per-core, shared-FIFO, or remote-unlimited) whose queueing
+//! emerges from load.
+//!
+//! The simulator executes the offload state machines of Figs. 12–14 at
+//! per-request granularity with kernel sizes drawn from measured CDFs,
+//! so its A/B throughput ratio plays the role of the paper's "real
+//! speedup" when validating the analytical model.
+//!
+//! ```
+//! use accelerometer_sim::{run_ab, OffloadConfig, SimConfig};
+//! use accelerometer_sim::workload::WorkloadSpec;
+//! use accelerometer::units::cycles_per_byte;
+//! use accelerometer::GranularityCdf;
+//!
+//! let control = SimConfig {
+//!     cores: 2,
+//!     threads: 2,
+//!     context_switch_cycles: 0.0,
+//!     horizon: 1e7,
+//!     seed: 1,
+//!     workload: WorkloadSpec {
+//!         non_kernel_cycles: 4_000.0,
+//!         kernels_per_request: 1,
+//!         granularity: GranularityCdf::from_points(vec![(512.0, 1.0)])?,
+//!         cycles_per_byte: cycles_per_byte(4.0),
+//!     },
+//!     offload: None,
+//! };
+//! let result = run_ab(&control, OffloadConfig::on_chip_sync(8.0));
+//! assert!(result.speedup() > 1.0);
+//! # Ok::<(), accelerometer::ModelError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod abtest;
+pub mod casestudy;
+pub mod device;
+pub mod engine;
+pub mod loadsweep;
+pub mod metrics;
+pub mod time;
+pub mod workload;
+
+pub use abtest::{run_ab, AbResult};
+pub use casestudy::{simulate, validate_all, CaseStudyValidation};
+pub use device::{Device, DeviceKind};
+pub use loadsweep::{concurrency_sweep, device_capacity_sweep, LoadPoint};
+pub use engine::{OffloadConfig, SimConfig, Simulator};
+pub use metrics::{LatencyStats, SimMetrics};
+pub use time::SimTime;

@@ -1,0 +1,159 @@
+//! Load sweeps: throughput and tail latency as concurrency or device
+//! capacity scales — the "projecting speedup based on accelerator load"
+//! use the paper's `Q` term gestures at, measured instead of assumed.
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::DeviceKind;
+use crate::engine::{SimConfig, Simulator};
+use crate::metrics::SimMetrics;
+
+/// One point of a load sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadPoint {
+    /// The swept value (thread count or server count).
+    pub x: usize,
+    /// The run's metrics.
+    pub metrics: SimMetrics,
+}
+
+/// Sweeps worker-thread concurrency over a base configuration. Thread
+/// counts below the core count are skipped (the engine requires full
+/// coverage).
+#[must_use]
+pub fn concurrency_sweep(base: &SimConfig, thread_counts: &[usize]) -> Vec<LoadPoint> {
+    thread_counts
+        .iter()
+        .filter(|&&t| t >= base.cores)
+        .map(|&threads| {
+            let mut cfg = base.clone();
+            cfg.threads = threads;
+            LoadPoint {
+                x: threads,
+                metrics: Simulator::new(cfg).run(),
+            }
+        })
+        .collect()
+}
+
+/// Sweeps the shared accelerator's server count (device capacity) over a
+/// base configuration that carries an offload. Configurations without an
+/// offload return an empty sweep.
+#[must_use]
+pub fn device_capacity_sweep(base: &SimConfig, server_counts: &[usize]) -> Vec<LoadPoint> {
+    if base.offload.is_none() {
+        return Vec::new();
+    }
+    server_counts
+        .iter()
+        .filter(|&&s| s > 0)
+        .map(|&servers| {
+            let mut cfg = base.clone();
+            if let Some(offload) = cfg.offload.as_mut() {
+                offload.device = DeviceKind::Shared { servers };
+            }
+            LoadPoint {
+                x: servers,
+                metrics: Simulator::new(cfg).run(),
+            }
+        })
+        .collect()
+}
+
+/// The knee of a sweep: the smallest `x` achieving at least `fraction`
+/// of the sweep's peak throughput. Returns `None` for an empty sweep.
+#[must_use]
+pub fn knee(points: &[LoadPoint], fraction: f64) -> Option<usize> {
+    let peak = points
+        .iter()
+        .map(|p| p.metrics.throughput_per_gcycle)
+        .fold(0.0_f64, f64::max);
+    points
+        .iter()
+        .find(|p| p.metrics.throughput_per_gcycle >= peak * fraction)
+        .map(|p| p.x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::OffloadConfig;
+    use crate::workload::WorkloadSpec;
+    use accelerometer::units::cycles_per_byte;
+    use accelerometer::{AccelerationStrategy, DriverMode, GranularityCdf, ThreadingDesign};
+
+    fn base() -> SimConfig {
+        SimConfig {
+            cores: 2,
+            threads: 2,
+            context_switch_cycles: 400.0,
+            horizon: 4e7,
+            seed: 3,
+            workload: WorkloadSpec {
+                non_kernel_cycles: 4_000.0,
+                kernels_per_request: 1,
+                granularity: GranularityCdf::from_points(vec![(1_024.0, 1.0)]).unwrap(),
+                cycles_per_byte: cycles_per_byte(2.0),
+            },
+            offload: Some(OffloadConfig {
+                design: ThreadingDesign::SyncOs,
+                strategy: AccelerationStrategy::OffChip,
+                driver: DriverMode::Posted,
+                device: DeviceKind::Shared { servers: 2 },
+                peak_speedup: 4.0,
+                interface_latency: 8_000.0,
+                setup_cycles: 0.0,
+                dispatch_pollution: 0.0,
+                min_offload_bytes: None,
+            }),
+        }
+    }
+
+    #[test]
+    fn concurrency_sweep_finds_the_pool_depth_knee() {
+        let points = concurrency_sweep(&base(), &[1, 2, 4, 8, 16, 32]);
+        // The sub-core count is skipped.
+        assert_eq!(points.len(), 5);
+        assert_eq!(points[0].x, 2);
+        // Throughput grows with depth until the offload latency is hidden.
+        let first = points[0].metrics.throughput_per_gcycle;
+        let last = points.last().unwrap().metrics.throughput_per_gcycle;
+        assert!(last > first * 1.5, "no concurrency benefit: {first} -> {last}");
+        // A knee exists and sits strictly above the minimum depth.
+        let knee_x = knee(&points, 0.95).unwrap();
+        assert!(knee_x > 2, "knee at {knee_x}");
+        assert!(knee_x <= 32);
+    }
+
+    #[test]
+    fn device_capacity_sweep_relieves_queueing() {
+        let mut cfg = base();
+        // Make the device the bottleneck: slow it down and use Sync.
+        if let Some(o) = cfg.offload.as_mut() {
+            o.design = ThreadingDesign::Sync;
+            o.peak_speedup = 1.5;
+            o.interface_latency = 100.0;
+        }
+        cfg.threads = cfg.cores;
+        let points = device_capacity_sweep(&cfg, &[1, 2, 4]);
+        assert_eq!(points.len(), 3);
+        // More servers → less queueing and at least as much throughput.
+        assert!(points[0].metrics.mean_queue_delay > points[2].metrics.mean_queue_delay);
+        assert!(
+            points[2].metrics.throughput_per_gcycle
+                >= points[0].metrics.throughput_per_gcycle - 1.0
+        );
+    }
+
+    #[test]
+    fn capacity_sweep_requires_an_offload() {
+        let mut cfg = base();
+        cfg.offload = None;
+        assert!(device_capacity_sweep(&cfg, &[1, 2]).is_empty());
+    }
+
+    #[test]
+    fn knee_of_empty_sweep_is_none() {
+        assert!(knee(&[], 0.9).is_none());
+    }
+}

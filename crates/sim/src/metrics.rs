@@ -1,0 +1,129 @@
+//! Simulation metrics: throughput, latency distribution, and utilization.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a latency sample, in cycles.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Number of completed requests sampled.
+    pub count: usize,
+    /// Mean latency.
+    pub mean: f64,
+    /// Median latency.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile — the SLO guardian's number.
+    pub p99: f64,
+    /// Maximum observed latency.
+    pub max: f64,
+}
+
+impl LatencyStats {
+    /// Computes summary statistics from raw samples.
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let pick = |p: f64| sorted[((sorted.len() - 1) as f64 * p).round() as usize];
+        Self {
+            count: sorted.len(),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50: pick(0.50),
+            p95: pick(0.95),
+            p99: pick(0.99),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimMetrics {
+    /// Simulated horizon in cycles.
+    pub horizon_cycles: f64,
+    /// Requests completed within the horizon.
+    pub completed_requests: u64,
+    /// Throughput in requests per 10⁹ host cycles (∝ QPS at fixed clock).
+    pub throughput_per_gcycle: f64,
+    /// Per-request latency statistics.
+    pub latency: LatencyStats,
+    /// Fraction of core-cycles spent busy.
+    pub core_utilization: f64,
+    /// Kernel invocations dispatched to the accelerator.
+    pub offloads_dispatched: u64,
+    /// Kernel invocations kept on the host (below break-even).
+    pub offloads_suppressed: u64,
+    /// Mean accelerator queueing delay (cycles) — empirical `Q`.
+    pub mean_queue_delay: f64,
+    /// Accelerator utilization.
+    pub device_utilization: f64,
+    /// Offloads the device observed.
+    pub device_offloads: u64,
+    /// Thread switches the scheduler performed.
+    pub thread_switches: u64,
+}
+
+impl SimMetrics {
+    /// Throughput speedup of this run relative to a baseline run.
+    #[must_use]
+    pub fn speedup_over(&self, baseline: &SimMetrics) -> f64 {
+        self.throughput_per_gcycle / baseline.throughput_per_gcycle
+    }
+
+    /// Mean-latency reduction relative to a baseline run
+    /// (`baseline / this`, mirroring the model's `C/CL`).
+    #[must_use]
+    pub fn latency_reduction_over(&self, baseline: &SimMetrics) -> f64 {
+        baseline.latency.mean / self.latency.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_from_samples() {
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        let s = LatencyStats::from_samples(&samples);
+        assert_eq!(s.count, 100);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert_eq!(s.max, 100.0);
+        assert!((s.p50 - 50.0).abs() <= 1.0);
+        assert!(s.p99 >= 99.0);
+        assert!(s.p95 >= 95.0 && s.p95 <= 96.0);
+    }
+
+    #[test]
+    fn empty_samples_are_zero() {
+        let s = LatencyStats::from_samples(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn speedup_and_latency_ratios() {
+        let base = SimMetrics {
+            throughput_per_gcycle: 100.0,
+            latency: LatencyStats {
+                mean: 2_000.0,
+                ..LatencyStats::default()
+            },
+            ..SimMetrics::default()
+        };
+        let accel = SimMetrics {
+            throughput_per_gcycle: 115.0,
+            latency: LatencyStats {
+                mean: 1_800.0,
+                ..LatencyStats::default()
+            },
+            ..SimMetrics::default()
+        };
+        assert!((accel.speedup_over(&base) - 1.15).abs() < 1e-12);
+        assert!((accel.latency_reduction_over(&base) - 2_000.0 / 1_800.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,182 @@
+//! Property-based tests of the discrete-event engine's invariants over
+//! randomized workloads and accelerator configurations.
+
+use accelerometer::units::cycles_per_byte;
+use accelerometer::{AccelerationStrategy, DriverMode, GranularityCdf, ThreadingDesign};
+use accelerometer_sim::workload::WorkloadSpec;
+use accelerometer_sim::{DeviceKind, OffloadConfig, SimConfig, Simulator};
+use proptest::prelude::*;
+
+fn workload_strategy() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        500.0..20_000.0_f64, // non-kernel cycles
+        1usize..3,           // kernels per request
+        64.0..4_096.0_f64,   // granularity scale
+        0.5..8.0_f64,        // Cb
+    )
+        .prop_map(|(non_kernel, kernels, scale, cb)| WorkloadSpec {
+            non_kernel_cycles: non_kernel,
+            kernels_per_request: kernels,
+            granularity: GranularityCdf::from_points(vec![
+                (scale, 0.5),
+                (scale * 4.0, 0.9),
+                (scale * 16.0, 1.0),
+            ])
+            .expect("valid CDF"),
+            cycles_per_byte: cycles_per_byte(cb),
+        })
+}
+
+fn design_strategy() -> impl Strategy<Value = (ThreadingDesign, AccelerationStrategy)> {
+    (
+        prop::sample::select(ThreadingDesign::ALL.to_vec()),
+        prop::sample::select(AccelerationStrategy::ALL.to_vec()),
+    )
+}
+
+fn config(workload: WorkloadSpec, seed: u64, threads_factor: usize) -> SimConfig {
+    // Scale the horizon to the workload so every configuration completes
+    // a comparable request count (small-sample noise would otherwise
+    // dominate heavy-kernel workloads).
+    let horizon = workload.mean_request_cycles() * 15_000.0;
+    SimConfig {
+        cores: 2,
+        threads: 2 * threads_factor,
+        context_switch_cycles: 300.0,
+        horizon,
+        seed,
+        workload,
+        offload: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Identical configurations produce identical metrics (full
+    /// determinism), and the metrics satisfy basic conservation laws.
+    #[test]
+    fn determinism_and_conservation(
+        workload in workload_strategy(),
+        seed in 0u64..1_000,
+    ) {
+        let a = Simulator::new(config(workload.clone(), seed, 1)).run();
+        let b = Simulator::new(config(workload, seed, 1)).run();
+        prop_assert_eq!(a, b);
+
+        // Conservation: busy cycles cannot exceed capacity beyond the
+        // boundary slice each core may have in flight at the horizon;
+        // percentiles are ordered; completions are consistent with
+        // samples.
+        prop_assert!(a.core_utilization <= 1.01);
+        prop_assert!(a.core_utilization > 0.9, "saturated closed loop idles");
+        prop_assert!(a.latency.p50 <= a.latency.p95 + 1e-9);
+        prop_assert!(a.latency.p95 <= a.latency.p99 + 1e-9);
+        prop_assert!(a.latency.p99 <= a.latency.max + 1e-9);
+        prop_assert_eq!(a.latency.count as u64, a.completed_requests);
+        prop_assert_eq!(a.offloads_dispatched, 0);
+    }
+
+    /// The baseline throughput equals cores / E[request cycles] within
+    /// sampling error, for any workload shape.
+    #[test]
+    fn baseline_throughput_matches_expectation(
+        workload in workload_strategy(),
+        seed in 0u64..1_000,
+    ) {
+        let metrics = Simulator::new(config(workload.clone(), seed, 1)).run();
+        let expected = 2.0 / workload.mean_request_cycles() * 1e9;
+        let ratio = metrics.throughput_per_gcycle / expected;
+        prop_assert!((ratio - 1.0).abs() < 0.05, "ratio {}", ratio);
+    }
+
+    /// Acceleration with zero overheads never slows the service, never
+    /// exceeds the ideal bound, and suppressed+dispatched offloads
+    /// account for every kernel of every completed request (up to
+    /// in-flight work at the horizon).
+    #[test]
+    fn accelerated_run_respects_bounds(
+        workload in workload_strategy(),
+        (design, strategy) in design_strategy(),
+        a in 1.5..32.0_f64,
+        seed in 0u64..1_000,
+    ) {
+        let threads_factor = if design == ThreadingDesign::SyncOs { 4 } else { 1 };
+        let base_cfg = config(workload.clone(), seed, threads_factor);
+        let baseline = Simulator::new(base_cfg.clone()).run();
+
+        let mut accel_cfg = base_cfg;
+        accel_cfg.offload = Some(OffloadConfig {
+            design,
+            strategy,
+            driver: DriverMode::Posted,
+            device: match strategy {
+                AccelerationStrategy::OnChip => DeviceKind::PerCore,
+                AccelerationStrategy::OffChip => DeviceKind::Shared { servers: 8 },
+                AccelerationStrategy::Remote => DeviceKind::Unlimited,
+            },
+            peak_speedup: a,
+            interface_latency: 0.0,
+            setup_cycles: 0.0,
+            dispatch_pollution: 0.0,
+            min_offload_bytes: None,
+        });
+        let accel = Simulator::new(accel_cfg).run();
+
+        let speedup = accel.speedup_over(&baseline);
+        let alpha = workload.expected_alpha();
+        let ideal = 1.0 / (1.0 - alpha);
+        prop_assert!(speedup > 0.95, "zero-overhead offload slowed: {}", speedup);
+        prop_assert!(
+            speedup < ideal * 1.03,
+            "speedup {} above ideal {}",
+            speedup,
+            ideal
+        );
+
+        // Offload accounting.
+        let kernels = accel.offloads_dispatched + accel.offloads_suppressed;
+        prop_assert_eq!(accel.offloads_suppressed, 0);
+        let expected_kernels =
+            accel.completed_requests * workload.kernels_per_request as u64;
+        // All completed requests' kernels were dispatched (in-flight
+        // requests may add a few more).
+        prop_assert!(kernels >= expected_kernels);
+    }
+
+    /// Selective offload with a threshold above the whole distribution
+    /// degenerates to the baseline (everything suppressed); a threshold
+    /// of zero offloads everything.
+    #[test]
+    fn selection_thresholds_degenerate_correctly(
+        workload in workload_strategy(),
+        seed in 0u64..1_000,
+    ) {
+        let mk = |min_bytes: Option<f64>| {
+            let mut cfg = config(workload.clone(), seed, 1);
+            cfg.offload = Some(OffloadConfig {
+                design: ThreadingDesign::Sync,
+                strategy: AccelerationStrategy::OnChip,
+                driver: DriverMode::Posted,
+                device: DeviceKind::PerCore,
+                peak_speedup: 8.0,
+                interface_latency: 0.0,
+                setup_cycles: 0.0,
+                dispatch_pollution: 0.0,
+                min_offload_bytes: min_bytes,
+            });
+            Simulator::new(cfg).run()
+        };
+        let baseline = Simulator::new(config(workload.clone(), seed, 1)).run();
+        let all_suppressed = mk(Some(1e12));
+        prop_assert_eq!(all_suppressed.offloads_dispatched, 0);
+        // Suppressing everything = baseline, exactly (same RNG stream).
+        prop_assert_eq!(
+            all_suppressed.completed_requests,
+            baseline.completed_requests
+        );
+        let all_offloaded = mk(Some(0.0));
+        prop_assert_eq!(all_offloaded.offloads_suppressed, 0);
+        prop_assert!(all_offloaded.completed_requests >= baseline.completed_requests);
+    }
+}

@@ -1,0 +1,114 @@
+//! The §4 parameter-derivation methodology, live: measure `Cb` for real
+//! kernels on *this* machine with micro-benchmarks, derive an `A` from
+//! two implementations of the same kernel, and feed the measured numbers
+//! straight into the model.
+//!
+//! This is the workflow the paper describes — "we measure model
+//! parameters using... micro-benchmarks that measure execution time on
+//! the host and the accelerator" — with this repository's own kernels as
+//! the hosts. (Wall-clock measurements vary by machine; the printed
+//! speedups will too. That's the point.)
+//!
+//! Run with: `cargo run --release --example derive_parameters`
+
+use accelerometer_suite::kernels::aes::Aes128;
+use accelerometer_suite::kernels::harness::{acceleration_factor, Harness};
+use accelerometer_suite::kernels::pipeline::{RpcPipeline, Stage};
+use accelerometer_suite::kernels::{hash, lz, KvMessage};
+use accelerometer_suite::model::{
+    throughput_breakeven, AccelerationStrategy, BreakEven, ModelParams, OffloadContext,
+    OffloadOverheads, Scenario, ThreadingDesign,
+};
+
+const CLOCK_HZ: f64 = 2.0e9; // nominal 2 GHz host, matching the paper's C
+
+fn payload(len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| if i % 4 == 0 { (i / 4 % 251) as u8 } else { b'x' })
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let harness = Harness::new(CLOCK_HZ);
+    let data = payload(16 * 1024);
+
+    // --- Step 1: measure Cb per kernel -----------------------------------
+    println!("measured per-byte costs at a nominal {CLOCK_HZ:.1e} Hz clock:");
+    let cipher = Aes128::new(&[7u8; 16]);
+    let mut buf = data.clone();
+    let aes = harness.measure(64, data.len() as u64, || {
+        cipher.ctr_apply(&[1u8; 16], &mut buf)
+    });
+    println!("  aes-128-ctr : {:>7.2} cycles/B", aes.cycles_per_byte().get());
+
+    let compress = harness.measure(64, data.len() as u64, || lz::compress(&data));
+    println!("  lz compress : {:>7.2} cycles/B", compress.cycles_per_byte().get());
+
+    let sha = harness.measure(64, data.len() as u64, || hash::sha256(&data));
+    let fnv = harness.measure(64, data.len() as u64, || hash::fnv1a_64(&data));
+    println!("  sha-256     : {:>7.2} cycles/B", sha.cycles_per_byte().get());
+    println!("  fnv-1a      : {:>7.2} cycles/B", fnv.cycles_per_byte().get());
+
+    // --- Step 2: derive an A between two same-kernel implementations -----
+    // SHA-256 as the "host" integrity kernel, FNV-1a standing in for a
+    // hardware CRC engine: the ratio of their per-byte costs is A.
+    let a_checksum = acceleration_factor(&sha, &fnv);
+    println!("\nchecksum accelerator: A = {a_checksum:.1} (sha-256 host vs fnv-engine)");
+
+    // --- Step 3: break-even for that accelerator over PCIe ----------------
+    let ctx = OffloadContext::new(
+        OffloadOverheads::new(100.0, 2_000.0, 0.0, 0.0),
+        a_checksum,
+        ThreadingDesign::Sync,
+        AccelerationStrategy::OffChip,
+    );
+    match throughput_breakeven(&sha.kernel_cost(), &ctx) {
+        BreakEven::AtLeast(g) => {
+            println!("  over PCIe (L = 2,000 cycles): lucrative when g >= {:.0} B", g.get());
+        }
+        BreakEven::Always => println!("  over PCIe: every offload lucrative"),
+        BreakEven::Never => println!("  over PCIe: never lucrative"),
+    }
+
+    // --- Step 4: a live α profile from the RPC pipeline -------------------
+    let mut sender = RpcPipeline::new(&[3u8; 16]);
+    for i in 0..200 {
+        let message = KvMessage::Set {
+            key: format!("key:{i}").into_bytes(),
+            value: payload(512 + (i % 7) * 700),
+            ttl_seconds: 60,
+        };
+        let _ = sender.seal(&message);
+    }
+    println!("\nRPC pipeline stage shares (by bytes processed, 200 messages):");
+    let shares = sender.stats().shares();
+    for (stage, share) in &shares {
+        println!("  {stage:?}: {:.1}%", share * 100.0);
+    }
+
+    // --- Step 5: feed everything into the model --------------------------
+    // Suppose secure I/O (encryption) is the offload target and the
+    // pipeline profile says what fraction of pipeline cycles it is;
+    // project an AES-NI-style on-chip unit (A = 6) at 100k offloads/s.
+    let secure_share = shares
+        .iter()
+        .find(|(s, _)| *s == Stage::SecureIo)
+        .map_or(0.2, |(_, share)| *share);
+    let alpha = 0.5 * secure_share; // pipeline is ~half the service's cycles
+    let params = ModelParams::builder()
+        .host_cycles(CLOCK_HZ)
+        .kernel_fraction(alpha)
+        .offloads(100_000.0)
+        .setup_cycles(10.0)
+        .interface_cycles(3.0)
+        .peak_speedup(6.0)
+        .build()?;
+    let est = Scenario::new(params, ThreadingDesign::Sync, AccelerationStrategy::OnChip)
+        .estimate();
+    println!(
+        "\nprojected on-chip encryption gain for a service spending {:.1}% in secure I/O: {:+.2}%",
+        alpha * 100.0,
+        est.throughput_gain_percent()
+    );
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! Structural cross-check: the Figs. 11–14 timelines and the §3
+//! equations are two renderings of the same semantics, so the host
+//! cycles a timeline charges per offload must equal the per-offload
+//! overhead the throughput equations charge.
+
+use accelerometer_suite::model::{
+    estimate, AccelerationStrategy, Cycles, DriverMode, ModelParams, OffloadOverheads,
+    ThreadingDesign, Timeline, TimelineSpec,
+};
+
+const KERNEL: f64 = 10_000.0;
+const A: f64 = 8.0;
+
+fn overheads() -> OffloadOverheads {
+    OffloadOverheads::new(250.0, 700.0, 150.0, 900.0)
+}
+
+/// The model's per-offload host charge beyond non-kernel work, recovered
+/// from the equations: `(CS/C − (1 − α)) · C / n`.
+fn model_host_charge(
+    design: ThreadingDesign,
+    strategy: AccelerationStrategy,
+    driver: DriverMode,
+) -> f64 {
+    let c = 1e9;
+    let n = 1_000.0;
+    let alpha = n * KERNEL / c;
+    let params = ModelParams::builder()
+        .host_cycles(c)
+        .kernel_fraction(alpha)
+        .offloads(n)
+        .overheads(overheads())
+        .peak_speedup(A)
+        .build()
+        .expect("valid parameters");
+    let est = estimate(&params, design, strategy, driver);
+    (est.host_cycles_accelerated.get() - (1.0 - alpha) * c) / n
+}
+
+/// The timeline's per-offload host charge: setup + blocked + switches
+/// (plus nothing else — HostWork segments are overlapped useful work).
+fn timeline_host_charge(
+    design: ThreadingDesign,
+    strategy: AccelerationStrategy,
+    driver: DriverMode,
+) -> f64 {
+    let timeline = Timeline::build(TimelineSpec {
+        kernel_cycles: Cycles::new(KERNEL),
+        peak_speedup: A,
+        overheads: overheads(),
+        design,
+        strategy,
+        driver,
+    });
+    timeline.host_overhead_cycles().get()
+}
+
+#[test]
+fn timelines_match_equations_for_every_design() {
+    for design in ThreadingDesign::ALL {
+        for strategy in AccelerationStrategy::ALL {
+            for driver in [DriverMode::AwaitsAck, DriverMode::Posted] {
+                let model = model_host_charge(design, strategy, driver);
+                let timeline = timeline_host_charge(design, strategy, driver);
+                assert!(
+                    (model - timeline).abs() < 1e-6,
+                    "{design:?}/{strategy:?}/{driver:?}: model charges {model:.1}, timeline {timeline:.1}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sync_timeline_charge_includes_accelerator_time() {
+    let charge = timeline_host_charge(
+        ThreadingDesign::Sync,
+        AccelerationStrategy::OffChip,
+        DriverMode::AwaitsAck,
+    );
+    // o0 + L + Q + kernel/A = 250 + 700 + 150 + 1250.
+    assert!((charge - 2_350.0).abs() < 1e-9, "charge {charge}");
+}
+
+#[test]
+fn async_remote_timeline_charges_setup_only() {
+    let charge = timeline_host_charge(
+        ThreadingDesign::AsyncNoResponse,
+        AccelerationStrategy::Remote,
+        DriverMode::Posted,
+    );
+    assert!((charge - 250.0).abs() < 1e-9, "charge {charge}");
+}
