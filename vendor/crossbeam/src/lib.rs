@@ -1,0 +1,108 @@
+//! Minimal offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate.
+//!
+//! Only `crossbeam::thread::scope` / `Scope::spawn` are used by this
+//! workspace; since Rust 1.63 the standard library provides scoped
+//! threads natively, so the stub is a thin adapter over
+//! [`std::thread::scope`] that preserves crossbeam's call shape
+//! (`scope(|s| ...)` returning a `Result`, and spawn closures that
+//! receive `&Scope`).
+//!
+//! Divergence from upstream: a panicking child thread propagates the
+//! panic out of `scope` (std behaviour) instead of surfacing it as
+//! `Err`. Callers in this workspace immediately `.expect()` the result,
+//! so both behaviours terminate identically.
+
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    //! Scoped thread spawning, crossbeam-style.
+
+    use std::any::Any;
+
+    /// A scope handle; threads spawned through it are joined before
+    /// [`scope`] returns.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result.
+        ///
+        /// # Errors
+        ///
+        /// Returns the panic payload if the thread panicked.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the
+        /// scope itself so it can spawn further threads, matching
+        /// crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&handle)),
+            }
+        }
+    }
+
+    /// Creates a scope in which threads borrowing from the environment
+    /// can be spawned; all of them are joined before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err` in this stub: child panics propagate as
+    /// panics (see the crate docs).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_collects() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .iter()
+                .map(|&x| s.spawn(move |_| x * 10))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .sum()
+        })
+        .expect("scope succeeds");
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = crate::thread::scope(|s| {
+            let outer = s.spawn(|s2| {
+                let inner = s2.spawn(|_| 21);
+                inner.join().expect("inner ok") * 2
+            });
+            outer.join().expect("outer ok")
+        })
+        .expect("scope succeeds");
+        assert_eq!(n, 42);
+    }
+}

@@ -1,0 +1,56 @@
+//! Minimal offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The build environment has no registry access, so the workspace
+//! vendors a drastically simplified serde: instead of the
+//! visitor/deserializer architecture, both traits convert through a
+//! single JSON-shaped [`Value`] tree. `serde_json` (also vendored)
+//! parses and prints that tree, and `serde_derive` (also vendored)
+//! generates these trait impls for the container shapes this workspace
+//! actually uses (named structs, tuple/newtype structs, and enums with
+//! unit/newtype/struct variants, including `rename_all = "kebab-case"`,
+//! `tag = "..."` internal tagging, `transparent`, and field `default`).
+//!
+//! The public *spelling* matches real serde closely enough that every
+//! `use serde::{Deserialize, Serialize}` and derive in this workspace
+//! compiles unchanged; the trait *methods* are different (and simpler),
+//! which only matters to hand-written impls — of which this workspace
+//! has none.
+
+#![forbid(unsafe_code)]
+
+mod error;
+mod impls;
+pub mod value;
+
+pub use error::DeError;
+pub use value::{Number, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can be converted into a JSON [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_json_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a JSON [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] describing the first shape or type
+    /// mismatch encountered.
+    fn from_json_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Looks up a field by key in an object's entry list.
+///
+/// Support function for derive-generated code; not part of the public
+/// API contract.
+#[doc(hidden)]
+#[must_use]
+pub fn __field<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}

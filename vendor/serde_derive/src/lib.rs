@@ -1,0 +1,678 @@
+//! Dependency-free `#[derive(Serialize, Deserialize)]` for the vendored
+//! `serde` stub.
+//!
+//! Real `serde_derive` rides on `syn`/`quote`; neither is available in
+//! this offline build environment, so this macro parses the derive
+//! input's token stream by hand and emits impl blocks as strings. It
+//! supports exactly the container shapes this workspace uses:
+//!
+//! - named-field structs (with optional generics),
+//! - tuple/newtype structs,
+//! - enums with unit, newtype, tuple, and struct variants,
+//! - container attributes `rename_all = "kebab-case" | "snake_case" |
+//!   "lowercase"`, `tag = "..."` (internal tagging), `transparent`,
+//! - field attribute `default`.
+//!
+//! Anything outside that set fails to compile loudly (via the generated
+//! code), never silently misbehaves.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let container = parse_container(input);
+    gen_serialize(&container)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let container = parse_container(input);
+    gen_deserialize(&container)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsed model
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct ContainerAttrs {
+    rename_all: Option<String>,
+    tag: Option<String>,
+    transparent: bool,
+}
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Data {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Container {
+    name: String,
+    generics: Vec<String>,
+    attrs: ContainerAttrs,
+    data: Data,
+}
+
+// ---------------------------------------------------------------------------
+// Token-tree parsing
+// ---------------------------------------------------------------------------
+
+fn is_punct(tok: &TokenTree, ch: char) -> bool {
+    matches!(tok, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn is_ident(tok: &TokenTree, name: &str) -> bool {
+    matches!(tok, TokenTree::Ident(id) if id.to_string() == name)
+}
+
+fn ident_string(tok: &TokenTree) -> Option<String> {
+    match tok {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Splits `#[serde(...)]` attribute contents into `(key, value)` items;
+/// returns an empty list for non-serde attributes (docs, derives, ...).
+fn serde_attr_items(attr_body: &TokenTree) -> Vec<(String, Option<String>)> {
+    let TokenTree::Group(group) = attr_body else {
+        return Vec::new();
+    };
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    if toks.len() != 2 || !is_ident(&toks[0], "serde") {
+        return Vec::new();
+    }
+    let TokenTree::Group(args) = &toks[1] else {
+        return Vec::new();
+    };
+    let mut items = Vec::new();
+    let mut iter = args.stream().into_iter().peekable();
+    while let Some(tok) = iter.next() {
+        let Some(key) = ident_string(&tok) else {
+            continue;
+        };
+        let mut value = None;
+        if matches!(iter.peek(), Some(t) if is_punct(t, '=')) {
+            iter.next();
+            if let Some(TokenTree::Literal(lit)) = iter.next() {
+                value = Some(lit.to_string().trim_matches('"').to_owned());
+            }
+        }
+        items.push((key, value));
+        while matches!(iter.peek(), Some(t) if !is_punct(t, ',')) {
+            iter.next();
+        }
+        iter.next(); // consume ','
+    }
+    items
+}
+
+/// Consumes leading `#[...]` attributes starting at `*i`, folding any
+/// serde items into `on_item`.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize, mut on_item: impl FnMut(String, Option<String>)) {
+    while *i + 1 < toks.len() && is_punct(&toks[*i], '#') {
+        for (k, v) in serde_attr_items(&toks[*i + 1]) {
+            on_item(k, v);
+        }
+        *i += 2;
+    }
+}
+
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if *i < toks.len() && is_ident(&toks[*i], "pub") {
+        *i += 1;
+        if *i < toks.len() {
+            if let TokenTree::Group(g) = &toks[*i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_container(input: TokenStream) -> Container {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut attrs = ContainerAttrs::default();
+    skip_attrs(&toks, &mut i, |k, v| match k.as_str() {
+        "rename_all" => attrs.rename_all = v,
+        "tag" => attrs.tag = v,
+        "transparent" => attrs.transparent = true,
+        _ => {}
+    });
+    skip_visibility(&toks, &mut i);
+    let keyword = ident_string(&toks[i]).expect("expected `struct` or `enum`");
+    i += 1;
+    let name = ident_string(&toks[i]).expect("expected container name");
+    i += 1;
+
+    // Generic parameter list: collect top-level parameter idents, skip
+    // everything else (bounds, defaults).
+    let mut generics = Vec::new();
+    if i < toks.len() && is_punct(&toks[i], '<') {
+        i += 1;
+        let mut depth = 1usize;
+        let mut at_param_start = true;
+        while i < toks.len() && depth > 0 {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => at_param_start = true,
+                TokenTree::Ident(id) if depth == 1 && at_param_start => {
+                    generics.push(id.to_string());
+                    at_param_start = false;
+                }
+                _ => at_param_start = false,
+            }
+            i += 1;
+        }
+    }
+
+    // Scan forward (over any `where` clause) to the body.
+    let data = loop {
+        assert!(i < toks.len(), "derive input for {name} has no body");
+        match &toks[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                if keyword == "enum" {
+                    break Data::Enum(parse_variants(g.stream()));
+                }
+                break Data::NamedStruct(parse_named_fields(g.stream()));
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                break Data::TupleStruct(count_tuple_fields(g.stream()));
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => break Data::UnitStruct,
+            _ => i += 1,
+        }
+    };
+
+    Container {
+        name,
+        generics,
+        attrs,
+        data,
+    }
+}
+
+/// Advances past one type, honoring angle-bracket nesting, stopping
+/// after the top-level `,` (or at end of input).
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let mut default = false;
+        skip_attrs(&toks, &mut i, |k, _| {
+            if k == "default" {
+                default = true;
+            }
+        });
+        skip_visibility(&toks, &mut i);
+        let Some(name) = ident_string(&toks[i]) else {
+            panic!("expected field name, got {:?}", toks[i].to_string());
+        };
+        i += 1; // field name
+        i += 1; // ':'
+        skip_type(&toks, &mut i);
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i, |_, _| {});
+        skip_visibility(&toks, &mut i);
+        skip_type(&toks, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i, |_, _| {});
+        let Some(name) = ident_string(&toks[i]) else {
+            panic!("expected variant name, got {:?}", toks[i].to_string());
+        };
+        i += 1;
+        let kind = if i < toks.len() {
+            match &toks[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    let n = count_tuple_fields(g.stream());
+                    i += 1;
+                    VariantKind::Tuple(n)
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    let fields = parse_named_fields(g.stream());
+                    i += 1;
+                    VariantKind::Struct(fields)
+                }
+                _ => VariantKind::Unit,
+            }
+        } else {
+            VariantKind::Unit
+        };
+        if i < toks.len() && is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Renaming
+// ---------------------------------------------------------------------------
+
+/// Applies a `rename_all` rule to a Rust identifier. Handles both
+/// snake_case field names and PascalCase variant names.
+fn apply_rename(ident: &str, rule: Option<&str>) -> String {
+    match rule {
+        Some("kebab-case") => case_convert(ident, '-'),
+        Some("snake_case") => case_convert(ident, '_'),
+        Some("lowercase") => ident.to_ascii_lowercase(),
+        Some(other) => panic!("unsupported rename_all rule `{other}`"),
+        None => ident.to_owned(),
+    }
+}
+
+fn case_convert(ident: &str, sep: char) -> String {
+    let mut out = String::with_capacity(ident.len() + 4);
+    for (idx, ch) in ident.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if idx > 0 {
+                out.push(sep);
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else if ch == '_' {
+            out.push(sep);
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn impl_header(container: &Container, trait_name: &str) -> String {
+    if container.generics.is_empty() {
+        format!(
+            "impl ::serde::{t} for {n}",
+            t = trait_name,
+            n = container.name
+        )
+    } else {
+        let bounded: Vec<String> = container
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect();
+        format!(
+            "impl<{bounds}> ::serde::{t} for {n}<{params}>",
+            bounds = bounded.join(", "),
+            t = trait_name,
+            n = container.name,
+            params = container.generics.join(", ")
+        )
+    }
+}
+
+fn gen_serialize(container: &Container) -> String {
+    let rule = container.attrs.rename_all.as_deref();
+    let body = match &container.data {
+        Data::NamedStruct(fields) => {
+            if container.attrs.transparent && fields.len() == 1 {
+                format!(
+                    "::serde::Serialize::to_json_value(&self.{})",
+                    fields[0].name
+                )
+            } else {
+                let mut out = String::from(
+                    "let mut __entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+                     = ::std::vec::Vec::new();\n",
+                );
+                for field in fields {
+                    out.push_str(&format!(
+                        "__entries.push((::std::string::String::from(\"{key}\"), \
+                         ::serde::Serialize::to_json_value(&self.{name})));\n",
+                        key = apply_rename(&field.name, rule),
+                        name = field.name
+                    ));
+                }
+                out.push_str("::serde::Value::Object(__entries)");
+                out
+            }
+        }
+        Data::TupleStruct(1) => "::serde::Serialize::to_json_value(&self.0)".to_owned(),
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|idx| format!("::serde::Serialize::to_json_value(&self.{idx})"))
+                .collect();
+            format!(
+                "::serde::Value::Array(::std::vec![{}])",
+                items.join(", ")
+            )
+        }
+        Data::UnitStruct => "::serde::Value::Null".to_owned(),
+        Data::Enum(variants) => gen_serialize_enum(container, variants),
+    };
+    format!(
+        "#[automatically_derived]\n{header} {{\n\
+         fn to_json_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n",
+        header = impl_header(container, "Serialize")
+    )
+}
+
+fn gen_serialize_enum(container: &Container, variants: &[Variant]) -> String {
+    let name = &container.name;
+    let rule = container.attrs.rename_all.as_deref();
+    let tag = container.attrs.tag.as_deref();
+    let mut arms = String::new();
+    for variant in variants {
+        let key = apply_rename(&variant.name, rule);
+        let vname = &variant.name;
+        match &variant.kind {
+            VariantKind::Unit => {
+                let repr = match tag {
+                    Some(tag_key) => format!(
+                        "::serde::Value::Object(::std::vec![(::std::string::String::from(\"{tag_key}\"), \
+                         ::serde::Value::String(::std::string::String::from(\"{key}\")))])"
+                    ),
+                    None => format!(
+                        "::serde::Value::String(::std::string::String::from(\"{key}\"))"
+                    ),
+                };
+                arms.push_str(&format!("{name}::{vname} => {repr},\n"));
+            }
+            VariantKind::Tuple(n) => {
+                let binders: Vec<String> = (0..*n).map(|idx| format!("__f{idx}")).collect();
+                let inner = if *n == 1 {
+                    "::serde::Serialize::to_json_value(__f0)".to_owned()
+                } else {
+                    let items: Vec<String> = binders
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                };
+                assert!(
+                    tag.is_none(),
+                    "internally tagged tuple variants are unsupported"
+                );
+                arms.push_str(&format!(
+                    "{name}::{vname}({binders}) => \
+                     ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{key}\"), {inner})]),\n",
+                    binders = binders.join(", ")
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let binders: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                let mut entries = String::new();
+                for field in fields {
+                    entries.push_str(&format!(
+                        "(::std::string::String::from(\"{fkey}\"), \
+                         ::serde::Serialize::to_json_value({fname})), ",
+                        fkey = field.name,
+                        fname = field.name
+                    ));
+                }
+                let repr = match tag {
+                    Some(tag_key) => format!(
+                        "::serde::Value::Object(::std::vec![\
+                         (::std::string::String::from(\"{tag_key}\"), \
+                         ::serde::Value::String(::std::string::String::from(\"{key}\"))), {entries}])"
+                    ),
+                    None => format!(
+                        "::serde::Value::Object(::std::vec![(::std::string::String::from(\"{key}\"), \
+                         ::serde::Value::Object(::std::vec![{entries}]))])"
+                    ),
+                };
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {binders} }} => {repr},\n",
+                    binders = binders.join(", ")
+                ));
+            }
+        }
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+fn gen_named_fields_de(type_path: &str, fields: &[Field], rule: Option<&str>, obj: &str) -> String {
+    let mut out = format!("{type_path} {{\n");
+    for field in fields {
+        let key = apply_rename(&field.name, rule);
+        let missing = if field.default {
+            "::std::default::Default::default()".to_owned()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(::serde::DeError::new(\
+                 \"missing field `{key}` in {type_path}\"))"
+            )
+        };
+        out.push_str(&format!(
+            "{name}: match ::serde::__field({obj}, \"{key}\") {{\n\
+             ::std::option::Option::Some(__x) => ::serde::Deserialize::from_json_value(__x)?,\n\
+             ::std::option::Option::None => {missing},\n}},\n",
+            name = field.name
+        ));
+    }
+    out.push('}');
+    out
+}
+
+fn gen_deserialize(container: &Container) -> String {
+    let name = &container.name;
+    let rule = container.attrs.rename_all.as_deref();
+    let body = match &container.data {
+        Data::NamedStruct(fields) => {
+            if container.attrs.transparent && fields.len() == 1 {
+                format!(
+                    "::std::result::Result::Ok({name} {{ {f}: \
+                     ::serde::Deserialize::from_json_value(__v)? }})",
+                    f = fields[0].name
+                )
+            } else {
+                format!(
+                    "if let ::serde::Value::Object(__o) = __v {{\n\
+                     ::std::result::Result::Ok({built})\n\
+                     }} else {{\n\
+                     ::std::result::Result::Err(::serde::DeError::new(\
+                     \"{name}: expected object\"))\n}}",
+                    built = gen_named_fields_de(name, fields, rule, "__o")
+                )
+            }
+        }
+        Data::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_json_value(__v)?))"
+        ),
+        Data::TupleStruct(n) => {
+            let mut items = String::new();
+            for idx in 0..*n {
+                items.push_str(&format!(
+                    "::serde::Deserialize::from_json_value(&__items[{idx}])?, "
+                ));
+            }
+            format!(
+                "if let ::serde::Value::Array(__items) = __v {{\n\
+                 if __items.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::DeError::new(\
+                 \"{name}: expected array of length {n}\"));\n}}\n\
+                 ::std::result::Result::Ok({name}({items}))\n\
+                 }} else {{\n\
+                 ::std::result::Result::Err(::serde::DeError::new(\
+                 \"{name}: expected array\"))\n}}"
+            )
+        }
+        Data::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Data::Enum(variants) => gen_deserialize_enum(container, variants),
+    };
+    format!(
+        "#[automatically_derived]\n{header} {{\n\
+         fn from_json_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n",
+        header = impl_header(container, "Deserialize")
+    )
+}
+
+fn gen_deserialize_enum(container: &Container, variants: &[Variant]) -> String {
+    let name = &container.name;
+    let rule = container.attrs.rename_all.as_deref();
+
+    if let Some(tag_key) = container.attrs.tag.as_deref() {
+        // Internally tagged: all data lives beside the tag field.
+        let mut arms = String::new();
+        for variant in variants {
+            let key = apply_rename(&variant.name, rule);
+            let vname = &variant.name;
+            match &variant.kind {
+                VariantKind::Unit => {
+                    arms.push_str(&format!(
+                        "\"{key}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    ));
+                }
+                VariantKind::Struct(fields) => {
+                    arms.push_str(&format!(
+                        "\"{key}\" => ::std::result::Result::Ok({built}),\n",
+                        built =
+                            gen_named_fields_de(&format!("{name}::{vname}"), fields, None, "__o")
+                    ));
+                }
+                VariantKind::Tuple(_) => {
+                    panic!("internally tagged tuple variants are unsupported")
+                }
+            }
+        }
+        return format!(
+            "if let ::serde::Value::Object(__o) = __v {{\n\
+             let __tag = match ::serde::__field(__o, \"{tag_key}\") {{\n\
+             ::std::option::Option::Some(__t) => match __t.as_str() {{\n\
+             ::std::option::Option::Some(__s) => __s,\n\
+             ::std::option::Option::None => return ::std::result::Result::Err(\
+             ::serde::DeError::new(\"{name}: tag `{tag_key}` must be a string\")),\n}},\n\
+             ::std::option::Option::None => return ::std::result::Result::Err(\
+             ::serde::DeError::new(\"{name}: missing tag `{tag_key}`\")),\n}};\n\
+             match __tag {{\n{arms}\
+             __other => ::std::result::Result::Err(::serde::DeError::new(\
+             ::std::format!(\"{name}: unknown variant '{{}}'\", __other))),\n}}\n\
+             }} else {{\n\
+             ::std::result::Result::Err(::serde::DeError::new(\"{name}: expected object\"))\n}}"
+        );
+    }
+
+    // Externally tagged (serde's default): unit variants are plain
+    // strings, data variants are single-key objects.
+    let mut string_arms = String::new();
+    let mut object_arms = String::new();
+    for variant in variants {
+        let key = apply_rename(&variant.name, rule);
+        let vname = &variant.name;
+        match &variant.kind {
+            VariantKind::Unit => {
+                string_arms.push_str(&format!(
+                    "\"{key}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                ));
+            }
+            VariantKind::Tuple(1) => {
+                object_arms.push_str(&format!(
+                    "\"{key}\" => ::std::result::Result::Ok({name}::{vname}(\
+                     ::serde::Deserialize::from_json_value(__inner)?)),\n"
+                ));
+            }
+            VariantKind::Tuple(n) => {
+                let mut items = String::new();
+                for idx in 0..*n {
+                    items.push_str(&format!(
+                        "::serde::Deserialize::from_json_value(&__items[{idx}])?, "
+                    ));
+                }
+                object_arms.push_str(&format!(
+                    "\"{key}\" => {{\n\
+                     if let ::serde::Value::Array(__items) = __inner {{\n\
+                     if __items.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::DeError::new(\
+                     \"{name}::{vname}: expected array of length {n}\"));\n}}\n\
+                     ::std::result::Result::Ok({name}::{vname}({items}))\n\
+                     }} else {{\n\
+                     ::std::result::Result::Err(::serde::DeError::new(\
+                     \"{name}::{vname}: expected array\"))\n}}\n}},\n"
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                object_arms.push_str(&format!(
+                    "\"{key}\" => {{\n\
+                     if let ::serde::Value::Object(__fo) = __inner {{\n\
+                     ::std::result::Result::Ok({built})\n\
+                     }} else {{\n\
+                     ::std::result::Result::Err(::serde::DeError::new(\
+                     \"{name}::{vname}: expected object\"))\n}}\n}},\n",
+                    built = gen_named_fields_de(&format!("{name}::{vname}"), fields, None, "__fo")
+                ));
+            }
+        }
+    }
+    format!(
+        "match __v {{\n\
+         ::serde::Value::String(__s) => match __s.as_str() {{\n{string_arms}\
+         __other => ::std::result::Result::Err(::serde::DeError::new(\
+         ::std::format!(\"{name}: unknown variant '{{}}'\", __other))),\n}},\n\
+         ::serde::Value::Object(__o) if __o.len() == 1 => {{\n\
+         let (__k, __inner) = &__o[0];\n\
+         match __k.as_str() {{\n{object_arms}\
+         __other => ::std::result::Result::Err(::serde::DeError::new(\
+         ::std::format!(\"{name}: unknown variant '{{}}'\", __other))),\n}}\n}},\n\
+         _ => ::std::result::Result::Err(::serde::DeError::new(\
+         \"{name}: expected string or single-key object\")),\n}}"
+    )
+}

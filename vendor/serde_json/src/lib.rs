@@ -1,0 +1,170 @@
+//! Minimal offline stand-in for [`serde_json`](https://crates.io/crates/serde_json).
+//!
+//! Converts between JSON text and the vendored `serde`'s [`Value`]
+//! tree. The printer mirrors real serde_json's output byte-for-byte for
+//! the shapes this workspace produces: compact form with no spaces,
+//! pretty form with two-space indentation, floats in Rust's shortest
+//! round-trip notation (`1.0`, `0.62`), and integers without a decimal
+//! point.
+
+#![forbid(unsafe_code)]
+
+mod parse;
+
+pub use serde::value::Number;
+pub use serde::Value;
+
+/// Error type for both parsing and conversion failures.
+pub type Error = serde::DeError;
+
+/// Serializes `value` to compact JSON text.
+///
+/// # Errors
+///
+/// Never fails in this stub; the `Result` mirrors serde_json's API.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().to_string())
+}
+
+/// Serializes `value` to pretty JSON text (two-space indent).
+///
+/// # Errors
+///
+/// Never fails in this stub; the `Result` mirrors serde_json's API.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().to_pretty_string())
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Never fails in this stub; the `Result` mirrors serde_json's API.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_json_value())
+}
+
+/// Reconstructs `T` from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on any shape or type mismatch.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T, Error> {
+    T::from_json_value(&value)
+}
+
+/// Parses JSON text and reconstructs `T` from it.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse::parse(text)?;
+    T::from_json_value(&value)
+}
+
+/// Support function for the [`json!`] macro; not public API.
+#[doc(hidden)]
+pub fn __to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_json_value()
+}
+
+/// Support function for the [`json!`] macro; not public API.
+#[doc(hidden)]
+pub fn __key<K: std::fmt::Display + ?Sized>(key: &K) -> String {
+    key.to_string()
+}
+
+/// Builds a [`Value`] from a JSON-like literal. Object keys may be
+/// string literals or expressions; values are arbitrary serializable
+/// expressions (nest further `json!` calls for literal sub-objects).
+#[macro_export]
+macro_rules! json {
+    (null) => {
+        $crate::Value::Null
+    };
+    ([ $($element:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![ $( $crate::__to_value(&$element) ),* ])
+    };
+    ({ $($key:tt : $value:expr),* $(,)? }) => {
+        $crate::Value::Object(::std::vec![
+            $( ($crate::__key(&$key), $crate::__to_value(&$value)) ),*
+        ])
+    };
+    ($other:expr) => {
+        $crate::__to_value(&$other)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars_and_containers() {
+        let v: Value = from_str("{\"a\": [1, 2.5, \"x\"], \"b\": null, \"c\": true}").unwrap();
+        assert_eq!(v["a"][0].as_u64(), Some(1));
+        assert_eq!(v["a"][1].as_f64(), Some(2.5));
+        assert_eq!(v["a"][2].as_str(), Some("x"));
+        assert!(v["b"].is_null());
+        assert_eq!(v["c"].as_bool(), Some(true));
+        let text = to_string(&v).unwrap();
+        let reparsed: Value = from_str(&text).unwrap();
+        assert_eq!(v, reparsed);
+    }
+
+    #[test]
+    fn floats_print_shortest_round_trip() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&0.62f64).unwrap(), "0.62");
+        assert_eq!(to_string(&14u64).unwrap(), "14");
+    }
+
+    #[test]
+    fn pretty_layout_matches_serde_json() {
+        let v = json!({"a": 1u64, "b": [true]});
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "{\n  \"a\": 1,\n  \"b\": [\n    true\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn json_macro_accepts_expression_keys_and_values() {
+        let key = "dynamic";
+        let vals = vec![1.5f64, 2.5];
+        let v = json!({ key: vals, "fixed": "s" });
+        assert_eq!(v["dynamic"][1].as_f64(), Some(2.5));
+        assert_eq!(v["fixed"].as_str(), Some("s"));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "line\none \"quoted\" \\ tab\t end";
+        let text = to_string(&original.to_string()).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let s: String = from_str("\"\\u0041\\u00e9\"").unwrap();
+        assert_eq!(s, "Aé");
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("tru").is_err());
+    }
+
+    #[test]
+    fn negative_and_exponent_numbers() {
+        let v: Value = from_str("[-3, -2.5, 1e3, 2.5e-2]").unwrap();
+        assert_eq!(v[0].as_i64(), Some(-3));
+        assert_eq!(v[1].as_f64(), Some(-2.5));
+        assert_eq!(v[2].as_f64(), Some(1000.0));
+        assert_eq!(v[3].as_f64(), Some(0.025));
+    }
+}
