@@ -23,7 +23,7 @@ use accelerometer::{
 };
 use accelerometer_fleet::params::{all_case_studies, compression_feed1};
 use accelerometer_sim::workload::{workload_for_params, WorkloadSpec};
-use accelerometer_sim::{run_ab, DeviceKind, OffloadConfig, SimConfig};
+use accelerometer_sim::{run_ab, DeviceKind, ExecPool, OffloadConfig, SimConfig};
 use serde::{Deserialize, Serialize};
 
 use crate::render::table;
@@ -143,6 +143,14 @@ pub struct QueueingAblationRow {
 /// four cores, swept across device speeds.
 #[must_use]
 pub fn queueing_sensitivity(seed: u64) -> Vec<QueueingAblationRow> {
+    queueing_sensitivity_with(&ExecPool::default(), seed)
+}
+
+/// [`queueing_sensitivity`] with an explicit worker pool: each device
+/// speed is an independent seeded A/B experiment, so rows are identical
+/// at any pool width and stay in sweep order.
+#[must_use]
+pub fn queueing_sensitivity_with(pool: &ExecPool, seed: u64) -> Vec<QueueingAblationRow> {
     let workload = WorkloadSpec {
         non_kernel_cycles: 5_000.0,
         kernels_per_request: 1,
@@ -151,8 +159,7 @@ pub fn queueing_sensitivity(seed: u64) -> Vec<QueueingAblationRow> {
         cycles_per_byte: cycles_per_byte(2.0),
     };
     let cores = 4usize;
-    let mut rows = Vec::new();
-    for peak_speedup in [16.0, 8.0, 4.0, 2.5] {
+    pool.map(&[16.0, 8.0, 4.0, 2.5], |_, &peak_speedup| {
         let control = SimConfig {
             cores,
             threads: cores,
@@ -209,16 +216,15 @@ pub fn queueing_sensitivity(seed: u64) -> Vec<QueueingAblationRow> {
         // mean back into the model.
         let measured_q = ab.treatment.mean_queue_delay;
         let _ = service;
-        rows.push(QueueingAblationRow {
+        QueueingAblationRow {
             peak_speedup,
             device_utilization: ab.treatment.device_utilization,
             simulated_queue_delay: measured_q,
             model_q0_percent: model(0.0),
             model_measured_q_percent: model(measured_q),
             simulated_percent: ab.speedup_percent(),
-        });
-    }
-    rows
+        }
+    })
 }
 
 /// Ablation 3 result: one row per pool depth.
@@ -237,6 +243,13 @@ pub struct PoolDepthRow {
 /// alongside.
 #[must_use]
 pub fn pool_depth(seed: u64) -> (f64, Vec<PoolDepthRow>) {
+    pool_depth_with(&ExecPool::default(), seed)
+}
+
+/// [`pool_depth`] with an explicit worker pool; rows stay in depth order
+/// and are identical at any pool width.
+#[must_use]
+pub fn pool_depth_with(pool: &ExecPool, seed: u64) -> (f64, Vec<PoolDepthRow>) {
     let workload = WorkloadSpec {
         non_kernel_cycles: 6_000.0,
         kernels_per_request: 1,
@@ -267,8 +280,7 @@ pub fn pool_depth(seed: u64) -> (f64, Vec<PoolDepthRow>) {
     )
     .throughput_gain_percent();
 
-    let mut rows = Vec::new();
-    for threads_per_core in [1usize, 2, 4, 8, 12, 16] {
+    let rows = pool.map(&[1usize, 2, 4, 8, 12, 16], |_, &threads_per_core| {
         let control = SimConfig {
             cores,
             threads: cores * threads_per_core,
@@ -290,12 +302,12 @@ pub fn pool_depth(seed: u64) -> (f64, Vec<PoolDepthRow>) {
             min_offload_bytes: None,
         };
         let ab = run_ab(&control, offload);
-        rows.push(PoolDepthRow {
+        PoolDepthRow {
             threads_per_core,
             simulated_percent: ab.speedup_percent(),
             core_utilization: ab.treatment.core_utilization,
-        });
-    }
+        }
+    });
     (model_percent, rows)
 }
 

@@ -1,11 +1,17 @@
-//! Runs the ablation studies: `ablations [--seed N]`.
+//! Runs the ablation studies: `ablations [--seed N] [--jobs N]`.
 //!
 //! Prefer a release build — each ablation runs simulator A/B
 //! experiments: `cargo run --release -p accelerometer-bench --bin
 //! ablations`.
 
+use accelerometer_bench::apply_jobs_flag;
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(message) = apply_jobs_flag(&mut args) {
+        eprintln!("{message}");
+        std::process::exit(1);
+    }
     let seed = args
         .iter()
         .position(|a| a == "--seed")

@@ -1,9 +1,54 @@
-//! Regenerates the paper's figures: `figures [figN ...|all] [--json]`.
+//! Regenerates the paper's figures: `figures [figN ...|all] [--json] [--jobs N]`.
 
-use accelerometer_bench::{figure, figure_json, FIGURE_IDS};
+use accelerometer_bench::{apply_jobs_flag, figure, figure_json, FIGURE_IDS};
+use accelerometer_sim::parallel::ExecPool;
+
+/// One figure's printable output, computed off the main thread.
+enum Rendered {
+    Text(String),
+    Json(String),
+    UnknownId,
+    NoJson,
+}
+
+fn render(id: &str, json: bool) -> Rendered {
+    if json {
+        match figure_json(id) {
+            Some(value) => Rendered::Json(
+                serde_json::to_string_pretty(&serde_json::json!({ id: value }))
+                    .expect("figure data serializes"),
+            ),
+            None => Rendered::NoJson,
+        }
+    } else if id == "design-space" {
+        // Extra (non-paper) figure: the A x L heatmap per design.
+        let mut out = String::new();
+        for design in [
+            accelerometer::ThreadingDesign::Sync,
+            accelerometer::ThreadingDesign::SyncOs,
+            accelerometer::ThreadingDesign::AsyncNoResponse,
+        ] {
+            out.push_str(&accelerometer_bench::design_space::render(
+                2.3e9, 0.15, 15_008.0, design,
+            ));
+            out.push('\n');
+        }
+        out.pop();
+        Rendered::Text(out)
+    } else {
+        match figure(id) {
+            Some(text) => Rendered::Text(text),
+            None => Rendered::UnknownId,
+        }
+    }
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(message) = apply_jobs_flag(&mut args) {
+        eprintln!("{message}");
+        std::process::exit(1);
+    }
     let json = args.iter().any(|a| a == "--json");
     let requested: Vec<&str> = args
         .iter()
@@ -15,38 +60,18 @@ fn main() {
     } else {
         requested
     };
+    // Build independent figures in parallel, print in request order.
+    let rendered = ExecPool::default().map(&ids, |_, id| render(id, json));
     let mut failed = false;
-    for id in ids {
-        if json {
-            match figure_json(id) {
-                Some(value) => println!(
-                    "{}",
-                    serde_json::to_string_pretty(&serde_json::json!({ id: value }))
-                        .expect("figure data serializes")
-                ),
-                None => {
-                    eprintln!("no JSON series for {id} (timeline figures are text-only)");
-                }
+    for (id, out) in ids.iter().zip(rendered) {
+        match out {
+            Rendered::Text(text) | Rendered::Json(text) => println!("{text}"),
+            Rendered::NoJson => {
+                eprintln!("no JSON series for {id} (timeline figures are text-only)");
             }
-        } else if id == "design-space" {
-            // Extra (non-paper) figure: the A x L heatmap per design.
-            for design in [
-                accelerometer::ThreadingDesign::Sync,
-                accelerometer::ThreadingDesign::SyncOs,
-                accelerometer::ThreadingDesign::AsyncNoResponse,
-            ] {
-                println!(
-                    "{}",
-                    accelerometer_bench::design_space::render(2.3e9, 0.15, 15_008.0, design)
-                );
-            }
-        } else {
-            match figure(id) {
-                Some(text) => println!("{text}"),
-                None => {
-                    eprintln!("unknown figure id: {id} (expected fig1..fig22, or design-space)");
-                    failed = true;
-                }
+            Rendered::UnknownId => {
+                eprintln!("unknown figure id: {id} (expected fig1..fig22, or design-space)");
+                failed = true;
             }
         }
     }

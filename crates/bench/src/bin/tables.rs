@@ -1,21 +1,28 @@
-//! Regenerates the paper's tables: `tables [tableN ...|all]`.
+//! Regenerates the paper's tables: `tables [tableN ...|all] [--jobs N]`.
 //!
 //! `table6` runs the simulator's deterministic A/B validation, so prefer
 //! a release build: `cargo run --release -p accelerometer-bench --bin
 //! tables -- table6`.
 
-use accelerometer_bench::{render_table, TABLE_IDS};
+use accelerometer_bench::{apply_jobs_flag, render_table, TABLE_IDS};
+use accelerometer_sim::parallel::ExecPool;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(message) = apply_jobs_flag(&mut args) {
+        eprintln!("{message}");
+        std::process::exit(1);
+    }
     let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         TABLE_IDS.to_vec()
     } else {
         args.iter().map(String::as_str).collect()
     };
+    // Render independent tables in parallel, print in request order.
+    let rendered = ExecPool::default().map(&ids, |_, id| render_table(id));
     let mut failed = false;
-    for id in ids {
-        match render_table(id) {
+    for (id, text) in ids.iter().zip(rendered) {
+        match text {
             Some(text) => println!("{text}"),
             None => {
                 eprintln!("unknown table id: {id} (expected table1..table7)");

@@ -7,6 +7,7 @@
 //! device is a point in this plane; the heatmap shows its iso-speedup
 //! region before anyone tapes anything out.
 
+use accelerometer::exec::ExecPool;
 use accelerometer::sweep::log_space;
 use accelerometer::{
     estimate, AccelerationStrategy, DriverMode, ModelParams, ThreadingDesign,
@@ -34,9 +35,9 @@ pub fn grid(
     a_values: &[f64],
     l_values: &[f64],
 ) -> Vec<Vec<DesignPoint>> {
-    a_values
-        .iter()
-        .map(|&a| {
+    // One pool job per grid row: each cell is a pure model evaluation, so
+    // rows parallelize freely and land in `a_values` order.
+    ExecPool::default().map(a_values, |_, &a| {
             l_values
                 .iter()
                 .map(|&l| {
@@ -62,8 +63,7 @@ pub fn grid(
                     }
                 })
                 .collect()
-        })
-        .collect()
+    })
 }
 
 fn glyph(gain: f64, ideal: f64) -> char {
@@ -92,7 +92,7 @@ pub fn render(c: f64, alpha: f64, n: f64, design: ThreadingDesign) -> String {
         "== Design space: {design} offload of a {:.0}% kernel, n = {n:.0} (ideal {ideal:+.1}%) ==\n",
         alpha * 100.0
     );
-    let _ = writeln!(out, "{:>7}  {}", "A \\ L", " 10 cycles -> 1M cycles (log)");
+    let _ = writeln!(out, "{:>7}   10 cycles -> 1M cycles (log)", "A \\ L");
     for (row, &a) in cells.iter().zip(&a_values).rev() {
         let line: String = row.iter().map(|p| glyph(p.gain_percent, ideal)).collect();
         let _ = writeln!(out, "{a:>7.1}  |{line}|");

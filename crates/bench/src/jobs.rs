@@ -1,0 +1,70 @@
+//! Shared `--jobs N` flag handling for the regeneration binaries.
+
+use accelerometer_sim::parallel::{available_jobs, set_default_jobs};
+
+/// Strips a `--jobs N` flag from `args` and installs `N` as the
+/// process-wide default worker count. Without the flag, the default
+/// stays at the machine's available parallelism.
+///
+/// # Errors
+///
+/// Returns a message when `--jobs` is present without a positive
+/// integer value.
+pub fn apply_jobs_flag(args: &mut Vec<String>) -> Result<(), String> {
+    let Some(i) = args.iter().position(|a| a == "--jobs") else {
+        return Ok(());
+    };
+    let value = args
+        .get(i + 1)
+        .ok_or_else(|| "--jobs requires a value (worker thread count)".to_owned())?;
+    let jobs: usize = value
+        .parse()
+        .map_err(|_| format!("--jobs expects a positive integer, got {value:?}"))?;
+    if jobs == 0 {
+        return Err("--jobs expects a positive integer, got 0".to_owned());
+    }
+    args.drain(i..=i + 1);
+    set_default_jobs(jobs);
+    Ok(())
+}
+
+/// The help text fragment describing the flag.
+#[must_use]
+pub fn jobs_usage() -> String {
+    format!(
+        "--jobs N   worker threads for independent runs (default: {}; results \
+         are identical at any N)",
+        available_jobs()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_flag_and_value() {
+        let mut args = vec!["table6".to_owned(), "--jobs".to_owned(), "2".to_owned()];
+        apply_jobs_flag(&mut args).unwrap();
+        assert_eq!(args, vec!["table6".to_owned()]);
+        // Restore the global for other tests.
+        set_default_jobs(0);
+    }
+
+    #[test]
+    fn rejects_missing_and_bad_values() {
+        let mut args = vec!["--jobs".to_owned()];
+        assert!(apply_jobs_flag(&mut args).is_err());
+        let mut args = vec!["--jobs".to_owned(), "zero".to_owned()];
+        assert!(apply_jobs_flag(&mut args).is_err());
+        let mut args = vec!["--jobs".to_owned(), "0".to_owned()];
+        assert!(apply_jobs_flag(&mut args).is_err());
+    }
+
+    #[test]
+    fn absent_flag_is_a_no_op() {
+        let mut args = vec!["all".to_owned()];
+        apply_jobs_flag(&mut args).unwrap();
+        assert_eq!(args, vec!["all".to_owned()]);
+    }
+}

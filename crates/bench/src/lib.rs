@@ -19,8 +19,10 @@
 pub mod ablations;
 pub mod design_space;
 pub mod figures;
+pub mod jobs;
 pub mod render;
 pub mod tables;
 
 pub use figures::{figure, figure_json, FIGURE_IDS};
+pub use jobs::apply_jobs_flag;
 pub use tables::{render_table, TABLE_IDS};

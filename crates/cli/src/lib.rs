@@ -44,7 +44,11 @@ use accelerometer_profiler::{analyze, to_folded, TraceGenerator};
 use accelerometer_sim::validate_all;
 
 /// Top-level usage text.
-pub const USAGE: &str = "usage: accelctl <command> [args]
+pub const USAGE: &str = "usage: accelctl [--jobs N] <command> [args]
+global flags:
+  --jobs N                        worker threads for independent runs
+                                  (default: available parallelism; results
+                                  are byte-identical at any N)
 commands:
   estimate <config.json>          evaluate scenarios from a parameter file
   breakeven --cb <c/B> --a <A> [--o0 N] [--l N] [--q N] [--o1 N]
@@ -67,6 +71,8 @@ commands:
 /// Returns a human-readable error message for unknown commands, missing
 /// arguments, unreadable files, or invalid parameters.
 pub fn run(args: &[String]) -> Result<String, String> {
+    let args = apply_jobs_flag(args)?;
+    let args = args.as_slice();
     let mut it = args.iter().map(String::as_str);
     match it.next() {
         Some("estimate") => cmd_estimate(&args[1..]),
@@ -81,6 +87,28 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Some("help") | None => Ok(USAGE.to_owned()),
         Some(other) => Err(format!("unknown command '{other}'\n{USAGE}")),
     }
+}
+
+/// Strips the global `--jobs N` flag, installing `N` as the default
+/// worker count for every pool-backed command (`validate`, `estimate`,
+/// batch sweeps). Jobs only affect wall-clock time, never results.
+fn apply_jobs_flag(args: &[String]) -> Result<Vec<String>, String> {
+    let mut args = args.to_vec();
+    let Some(i) = args.iter().position(|a| a == "--jobs") else {
+        return Ok(args);
+    };
+    let value = args
+        .get(i + 1)
+        .ok_or("--jobs requires a value (worker thread count)")?;
+    let jobs: usize = value
+        .parse()
+        .map_err(|_| format!("--jobs expects a positive integer, got '{value}'"))?;
+    if jobs == 0 {
+        return Err("--jobs expects a positive integer, got 0".to_owned());
+    }
+    accelerometer::exec::set_default_jobs(jobs);
+    args.drain(i..=i + 1);
+    Ok(args)
 }
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
@@ -121,8 +149,11 @@ fn load_config(path: &str) -> Result<ConfigFile, String> {
     ConfigFile::from_json(&text).map_err(|e| e.to_string())
 }
 
-fn format_scenario_result(name: &str, scenario: &Scenario) -> String {
-    let est = scenario.estimate();
+fn format_scenario_estimate(
+    name: &str,
+    scenario: &Scenario,
+    est: &accelerometer::Estimate,
+) -> String {
     format!(
         "{name}: throughput speedup {:.4}x ({:+.2}%), latency reduction {:.4}x ({:+.2}%)  [{} / {}]",
         est.throughput_speedup,
@@ -143,9 +174,12 @@ fn cmd_estimate(args: &[String]) -> Result<String, String> {
     if scenarios.is_empty() {
         return Err("config contains no scenarios".to_owned());
     }
+    // Evaluate all scenarios through the worker pool (honors --jobs).
+    let bare: Vec<Scenario> = scenarios.iter().map(|(_, s)| *s).collect();
+    let estimates = sweep::estimate_batch(&bare);
     let mut out = String::new();
-    for (name, scenario) in &scenarios {
-        let _ = writeln!(out, "{}", format_scenario_result(name, scenario));
+    for ((name, scenario), est) in scenarios.iter().zip(&estimates) {
+        let _ = writeln!(out, "{}", format_scenario_estimate(name, scenario, est));
     }
     Ok(out)
 }
@@ -371,6 +405,20 @@ mod tests {
         assert!(run(&args(&["help"])).unwrap().contains("estimate"));
         let err = run(&args(&["frobnicate"])).unwrap_err();
         assert!(err.contains("unknown command"));
+    }
+
+    #[test]
+    fn jobs_flag_is_global_and_validated() {
+        let path = write_config();
+        let out = run(&args(&["--jobs", "2", "estimate", &path])).unwrap();
+        fs::remove_file(&path).ok();
+        assert!(out.contains("aes-ni-cache1"), "{out}");
+        assert!(out.contains("+15.7"), "{out}");
+        // Missing / non-positive values are rejected before dispatch.
+        assert!(run(&args(&["--jobs"])).unwrap_err().contains("--jobs"));
+        assert!(run(&args(&["--jobs", "zero", "help"])).is_err());
+        assert!(run(&args(&["--jobs", "0", "help"])).is_err());
+        accelerometer::exec::set_default_jobs(0);
     }
 
     #[test]

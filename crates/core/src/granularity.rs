@@ -164,6 +164,19 @@ impl GranularityCdf {
         self.max_bytes()
     }
 
+    /// Builds a precomputed inverse-CDF lookup for repeated quantile
+    /// draws. [`GranularitySampler::quantile`] returns bit-identical
+    /// results to [`GranularityCdf::quantile`] but binary-searches the
+    /// breakpoints instead of scanning them, which matters when a
+    /// simulator draws millions of granularities per run.
+    #[must_use]
+    pub fn sampler(&self) -> GranularitySampler {
+        GranularitySampler {
+            bytes: self.points.iter().map(|&(g, _)| g).collect(),
+            fractions: self.points.iter().map(|&(_, f)| f).collect(),
+        }
+    }
+
     /// Mean granularity, `E[g] = ∫ (1 − F(g)) dg` over the support.
     #[must_use]
     pub fn mean_bytes(&self) -> Bytes {
@@ -219,6 +232,52 @@ impl GranularityCdf {
     }
 }
 
+/// A precomputed inverse-CDF sampler over a [`GranularityCdf`].
+///
+/// Built once via [`GranularityCdf::sampler`], it answers quantile
+/// queries with a binary search (`partition_point`) over the cumulative
+/// fractions instead of the linear scan [`GranularityCdf::quantile`]
+/// performs, while reproducing that scan's arithmetic exactly — every
+/// draw is bit-identical between the two, which the simulator's
+/// calibration tests rely on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GranularitySampler {
+    bytes: Vec<f64>,
+    fractions: Vec<f64>,
+}
+
+impl GranularitySampler {
+    /// The `p`-quantile (inverse CDF), clamping `p` into `[0, 1]`.
+    ///
+    /// Bit-identical to [`GranularityCdf::quantile`] on the source CDF.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> Bytes {
+        let p = p.clamp(0.0, 1.0);
+        // First breakpoint with f1 >= p — exactly where the linear scan's
+        // `p <= f1` test first fires.
+        let idx = self.fractions.partition_point(|&f| f < p);
+        if idx >= self.fractions.len() {
+            return Bytes::new(*self.bytes.last().expect("non-empty by construction"));
+        }
+        let (g1, f1) = (self.bytes[idx], self.fractions[idx]);
+        let (g0, f0) = if idx == 0 {
+            (0.0, 0.0)
+        } else {
+            (self.bytes[idx - 1], self.fractions[idx - 1])
+        };
+        if (f1 - f0).abs() < f64::EPSILON {
+            return Bytes::new(g1);
+        }
+        Bytes::new(g0 + (g1 - g0) * (p - f0) / (f1 - f0))
+    }
+
+    /// The largest granularity in the distribution's support.
+    #[must_use]
+    pub fn max_bytes(&self) -> Bytes {
+        Bytes::new(*self.bytes.last().expect("non-empty by construction"))
+    }
+}
+
 /// The effective model inputs after restricting offloading to lucrative
 /// granularities (§4 validation methodology, steps 1–2).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -254,6 +313,7 @@ pub fn select_lucrative(
 mod tests {
     use super::*;
     use crate::units::bytes;
+    use proptest::prelude::*;
 
     fn simple() -> GranularityCdf {
         GranularityCdf::from_points(vec![(100.0, 0.25), (200.0, 0.5), (400.0, 1.0)]).unwrap()
@@ -382,5 +442,78 @@ mod tests {
         let json = serde_json::to_string(&cdf).unwrap();
         let back: GranularityCdf = serde_json::from_str(&json).unwrap();
         assert_eq!(cdf, back);
+    }
+
+    #[test]
+    fn sampler_matches_linear_quantile_bitwise() {
+        // Edge-heavy fixed probe set: clamped, exact breakpoints, flat
+        // (zero-width) segments, and below-first-breakpoint draws.
+        let cdfs = [
+            simple(),
+            GranularityCdf::from_points(vec![(0.0, 0.1), (64.0, 1.0)]).unwrap(),
+            GranularityCdf::from_points(vec![(10.0, 0.5), (20.0, 0.5), (30.0, 1.0)]).unwrap(),
+            GranularityCdf::from_points(vec![(425.0, 1.0)]).unwrap(),
+        ];
+        for cdf in &cdfs {
+            let sampler = cdf.sampler();
+            assert_eq!(sampler.max_bytes(), cdf.max_bytes());
+            for i in 0..=1000 {
+                let p = f64::from(i) / 1000.0;
+                for probe in [p, p - 0.5, p + 0.5] {
+                    let lin = cdf.quantile(probe).get();
+                    let fast = sampler.quantile(probe).get();
+                    assert_eq!(
+                        lin.to_bits(),
+                        fast.to_bits(),
+                        "p={probe} lin={lin} fast={fast} cdf={:?}",
+                        cdf.points()
+                    );
+                }
+            }
+            for &(_, f) in cdf.points() {
+                assert_eq!(
+                    cdf.quantile(f).get().to_bits(),
+                    sampler.quantile(f).get().to_bits()
+                );
+            }
+        }
+    }
+
+    proptest! {
+        /// On arbitrary valid CDFs, the binary-search sampler reproduces
+        /// the linear-scan quantile bit-for-bit — including at the exact
+        /// breakpoint fractions where the scan's `p <= f1` test fires.
+        #[test]
+        fn sampler_matches_linear_quantile_on_random_cdfs(
+            raw in prop::collection::vec((0.0_f64..1e6, 0.0_f64..1.0), 1..12),
+            probes in prop::collection::vec(-0.2_f64..1.2, 1..64),
+        ) {
+            // Sort/dedup raw draws into a valid strictly-increasing CDF
+            // ending at 1.0.
+            let mut gs: Vec<f64> = raw.iter().map(|&(g, _)| g).collect();
+            gs.sort_by(f64::total_cmp);
+            gs.dedup();
+            let mut fs: Vec<f64> = raw.iter().take(gs.len()).map(|&(_, f)| f).collect();
+            fs.sort_by(f64::total_cmp);
+            if let Some(last) = fs.last_mut() {
+                *last = 1.0;
+            }
+            let points: Vec<(f64, f64)> = gs.into_iter().zip(fs).collect();
+            if let Ok(cdf) = GranularityCdf::from_points(points) {
+                let sampler = cdf.sampler();
+                for &p in &probes {
+                    prop_assert_eq!(
+                        cdf.quantile(p).get().to_bits(),
+                        sampler.quantile(p).get().to_bits()
+                    );
+                }
+                for &(_, f) in cdf.points() {
+                    prop_assert_eq!(
+                        cdf.quantile(f).get().to_bits(),
+                        sampler.quantile(f).get().to_bits()
+                    );
+                }
+            }
+        }
     }
 }

@@ -56,6 +56,7 @@ pub mod breakeven;
 pub mod complexity;
 pub mod config;
 pub mod error;
+pub mod exec;
 pub mod granularity;
 pub mod interface;
 pub mod logca;
@@ -81,7 +82,7 @@ pub use slo::LatencySlo;
 pub use complexity::{Complexity, KernelCost};
 pub use config::{ConfigFile, ScenarioConfig};
 pub use error::{ModelError, Result};
-pub use granularity::{select_lucrative, GranularityCdf, LucrativeSelection};
+pub use granularity::{select_lucrative, GranularityCdf, GranularitySampler, LucrativeSelection};
 pub use model::{
     estimate, estimate_with_queue_distribution, net_speedup_condition, DriverMode, Estimate,
     Scenario,

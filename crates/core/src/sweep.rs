@@ -86,32 +86,24 @@ pub fn sweep(base: &Scenario, axis: SweepAxis, values: &[f64]) -> Vec<SweepPoint
         .collect()
 }
 
-/// Evaluates many independent scenarios in parallel using scoped threads.
+/// Evaluates many independent scenarios in parallel.
 ///
-/// The output preserves input order. Parallelism is capped at the number
-/// of scenarios and at eight threads (the work is trivially cheap; this
-/// exists so fleet-wide batch projections scale linearly with cores).
+/// The output preserves input order. Fan-out goes through
+/// [`crate::exec::ExecPool`] with the process-wide default worker count,
+/// so fleet-wide batch projections scale with cores while staying
+/// byte-identical to a sequential evaluation.
 #[must_use]
 pub fn estimate_batch(scenarios: &[Scenario]) -> Vec<Estimate> {
-    if scenarios.len() < 2 {
-        return scenarios.iter().map(Scenario::estimate).collect();
-    }
-    let workers = scenarios.len().min(8);
-    let chunk = scenarios.len().div_ceil(workers);
-    let mut out: Vec<Option<Estimate>> = vec![None; scenarios.len()];
-    crossbeam::thread::scope(|scope| {
-        for (slot, work) in out.chunks_mut(chunk).zip(scenarios.chunks(chunk)) {
-            scope.spawn(move |_| {
-                for (o, s) in slot.iter_mut().zip(work) {
-                    *o = Some(s.estimate());
-                }
-            });
-        }
-    })
-    .expect("sweep workers do not panic");
-    out.into_iter()
-        .map(|e| e.expect("every slot is filled"))
-        .collect()
+    estimate_batch_with(&crate::exec::ExecPool::default(), scenarios)
+}
+
+/// [`estimate_batch`] with an explicit worker pool.
+#[must_use]
+pub fn estimate_batch_with(
+    pool: &crate::exec::ExecPool,
+    scenarios: &[Scenario],
+) -> Vec<Estimate> {
+    pool.map(scenarios, |_, s| s.estimate())
 }
 
 /// Generates logarithmically spaced sweep values between `lo` and `hi`.

@@ -134,13 +134,23 @@ pub fn simulate(study: &CaseStudy, seed: u64) -> (CaseStudyValidation, AbResult)
     (validation, ab)
 }
 
-/// Runs all three case studies (Table 6).
+/// Runs all three case studies (Table 6), fanning the independent A/B
+/// experiments over the process-wide default pool.
 #[must_use]
 pub fn validate_all(seed: u64) -> Vec<CaseStudyValidation> {
-    all_case_studies()
-        .iter()
-        .map(|study| simulate(study, seed).0)
-        .collect()
+    validate_all_with(&crate::parallel::ExecPool::default(), seed)
+}
+
+/// [`validate_all`] with an explicit worker pool. Each case study is an
+/// independent seeded A/B experiment, so results are identical at any
+/// pool width and always come back in Table 6 row order.
+#[must_use]
+pub fn validate_all_with(
+    pool: &crate::parallel::ExecPool,
+    seed: u64,
+) -> Vec<CaseStudyValidation> {
+    let studies = all_case_studies();
+    pool.map(&studies, |_, study| simulate(study, seed).0)
 }
 
 /// Sanity mapping used by the tests: each case study exercises a distinct

@@ -20,10 +20,10 @@ use serde::{Deserialize, Serialize};
 use crate::device::{Device, DeviceKind};
 use crate::metrics::{LatencyStats, SimMetrics};
 use crate::time::SimTime;
-use crate::workload::{WorkItem, WorkloadSpec};
+use crate::workload::{RequestSampler, WorkItem, WorkloadSpec};
 
 /// Accelerator-side configuration for a simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct OffloadConfig {
     /// Threading design used to offload.
     pub design: ThreadingDesign,
@@ -157,6 +157,9 @@ struct RequestState {
 /// The simulator.
 pub struct Simulator {
     cfg: SimConfig,
+    /// Precomputed request generator (inverse-CDF lookup); draws are
+    /// bit-identical to `cfg.workload.draw_request`.
+    sampler: RequestSampler,
     rng: StdRng,
     now: SimTime,
     seq: u64,
@@ -199,7 +202,9 @@ impl Simulator {
             })
             .collect();
         let rng = StdRng::seed_from_u64(cfg.seed);
+        let sampler = cfg.workload.sampler();
         Self {
+            sampler,
             ready: (0..cfg.threads).collect(),
             free_cores: (0..cfg.cores).rev().collect(),
             core_last_thread: vec![None; cfg.cores],
@@ -346,7 +351,7 @@ impl Simulator {
 
     fn execute_kernel(&mut self, thread: usize, core: usize, start: SimTime, bytes: f64) {
         let host_cycles = self.cfg.workload.kernel_host_cycles(bytes);
-        let Some(offload) = self.cfg.offload.clone() else {
+        let Some(offload) = self.cfg.offload else {
             self.core_busy += host_cycles;
             self.push_event(start + host_cycles, Event::SliceDone { thread, core });
             return;
@@ -451,7 +456,6 @@ impl Simulator {
     }
 
     fn begin_request(&mut self, thread: usize, start: SimTime) {
-        let items = self.cfg.workload.draw_request(&mut self.rng);
         let request = self.requests.len();
         self.requests.push(RequestState {
             start,
@@ -460,7 +464,14 @@ impl Simulator {
             completion_lower_bound: start,
             completed: false,
         });
-        self.threads[thread].items = items.into();
+        // Draw directly into the thread's (drained) item buffer so its
+        // allocation is reused request after request. Disjoint field
+        // borrows keep the sampler, RNG, and buffer independent.
+        RequestSampler::draw_into(
+            &self.sampler,
+            &mut self.rng,
+            &mut self.threads[thread].items,
+        );
         self.threads[thread].request = request;
     }
 

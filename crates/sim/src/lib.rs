@@ -47,13 +47,18 @@ pub mod device;
 pub mod engine;
 pub mod loadsweep;
 pub mod metrics;
+pub mod parallel;
 pub mod time;
 pub mod workload;
 
 pub use abtest::{run_ab, AbResult};
-pub use casestudy::{simulate, validate_all, CaseStudyValidation};
+pub use casestudy::{simulate, validate_all, validate_all_with, CaseStudyValidation};
 pub use device::{Device, DeviceKind};
-pub use loadsweep::{concurrency_sweep, device_capacity_sweep, LoadPoint};
+pub use loadsweep::{
+    concurrency_sweep, concurrency_sweep_with, device_capacity_sweep, device_capacity_sweep_with,
+    ConcurrencySweep, LoadPoint,
+};
 pub use engine::{OffloadConfig, SimConfig, Simulator};
 pub use metrics::{LatencyStats, SimMetrics};
+pub use parallel::{derive_seed, run_batch, run_replicas, ExecPool};
 pub use time::SimTime;

@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 use crate::device::DeviceKind;
 use crate::engine::{SimConfig, Simulator};
 use crate::metrics::SimMetrics;
+use crate::parallel::ExecPool;
 
 /// One point of a load sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -17,23 +18,72 @@ pub struct LoadPoint {
     pub metrics: SimMetrics,
 }
 
+/// A concurrency sweep's full outcome: the simulated points plus the
+/// requested thread counts the engine could not run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConcurrencySweep {
+    /// One point per runnable thread count, in input order.
+    pub points: Vec<LoadPoint>,
+    /// Requested thread counts below `base.cores`, which the engine
+    /// rejects (every core needs a thread), in input order.
+    pub skipped: Vec<usize>,
+}
+
+/// Sweeps worker-thread concurrency over a base configuration.
+///
+/// Invariant: the engine requires `threads >= cores`, so smaller
+/// requested counts cannot be simulated. They are *not* silently
+/// dropped — they come back in [`ConcurrencySweep::skipped`] so callers
+/// can warn or fail. Points run on `pool` and preserve input order.
+#[must_use]
+pub fn concurrency_sweep_with(
+    pool: &ExecPool,
+    base: &SimConfig,
+    thread_counts: &[usize],
+) -> ConcurrencySweep {
+    let (runnable, skipped): (Vec<usize>, Vec<usize>) =
+        thread_counts.iter().partition(|&&t| t >= base.cores);
+    let points = pool.map(&runnable, |_, &threads| {
+        let mut cfg = base.clone();
+        cfg.threads = threads;
+        LoadPoint {
+            x: threads,
+            metrics: Simulator::new(cfg).run(),
+        }
+    });
+    ConcurrencySweep { points, skipped }
+}
+
 /// Sweeps worker-thread concurrency over a base configuration. Thread
 /// counts below the core count are skipped (the engine requires full
-/// coverage).
+/// coverage); use [`concurrency_sweep_with`] to see which, and to run
+/// points on an explicit pool.
 #[must_use]
 pub fn concurrency_sweep(base: &SimConfig, thread_counts: &[usize]) -> Vec<LoadPoint> {
-    thread_counts
-        .iter()
-        .filter(|&&t| t >= base.cores)
-        .map(|&threads| {
-            let mut cfg = base.clone();
-            cfg.threads = threads;
-            LoadPoint {
-                x: threads,
-                metrics: Simulator::new(cfg).run(),
-            }
-        })
-        .collect()
+    concurrency_sweep_with(&ExecPool::default(), base, thread_counts).points
+}
+
+/// [`device_capacity_sweep`] with an explicit worker pool.
+#[must_use]
+pub fn device_capacity_sweep_with(
+    pool: &ExecPool,
+    base: &SimConfig,
+    server_counts: &[usize],
+) -> Vec<LoadPoint> {
+    if base.offload.is_none() {
+        return Vec::new();
+    }
+    let runnable: Vec<usize> = server_counts.iter().copied().filter(|&s| s > 0).collect();
+    pool.map(&runnable, |_, &servers| {
+        let mut cfg = base.clone();
+        if let Some(offload) = cfg.offload.as_mut() {
+            offload.device = DeviceKind::Shared { servers };
+        }
+        LoadPoint {
+            x: servers,
+            metrics: Simulator::new(cfg).run(),
+        }
+    })
 }
 
 /// Sweeps the shared accelerator's server count (device capacity) over a
@@ -41,23 +91,7 @@ pub fn concurrency_sweep(base: &SimConfig, thread_counts: &[usize]) -> Vec<LoadP
 /// offload return an empty sweep.
 #[must_use]
 pub fn device_capacity_sweep(base: &SimConfig, server_counts: &[usize]) -> Vec<LoadPoint> {
-    if base.offload.is_none() {
-        return Vec::new();
-    }
-    server_counts
-        .iter()
-        .filter(|&&s| s > 0)
-        .map(|&servers| {
-            let mut cfg = base.clone();
-            if let Some(offload) = cfg.offload.as_mut() {
-                offload.device = DeviceKind::Shared { servers };
-            }
-            LoadPoint {
-                x: servers,
-                metrics: Simulator::new(cfg).run(),
-            }
-        })
-        .collect()
+    device_capacity_sweep_with(&ExecPool::default(), base, server_counts)
 }
 
 /// The knee of a sweep: the smallest `x` achieving at least `fraction`
@@ -155,5 +189,31 @@ mod tests {
     #[test]
     fn knee_of_empty_sweep_is_none() {
         assert!(knee(&[], 0.9).is_none());
+    }
+
+    #[test]
+    fn sub_core_thread_counts_are_reported_not_dropped() {
+        let mut cfg = base();
+        cfg.horizon = 2e6;
+        let sweep = concurrency_sweep_with(&ExecPool::new(1), &cfg, &[1, 2, 4, 1, 8]);
+        assert_eq!(sweep.skipped, vec![1, 1]);
+        let xs: Vec<usize> = sweep.points.iter().map(|p| p.x).collect();
+        assert_eq!(xs, vec![2, 4, 8]);
+        // The convenience wrapper keeps its historical skip-silently shape.
+        assert_eq!(concurrency_sweep(&cfg, &[1, 2]).len(), 1);
+    }
+
+    #[test]
+    fn sweeps_are_pool_width_invariant() {
+        let mut cfg = base();
+        cfg.horizon = 2e6;
+        let counts = [2, 4, 8];
+        let seq = concurrency_sweep_with(&ExecPool::new(1), &cfg, &counts);
+        let par = concurrency_sweep_with(&ExecPool::new(8), &cfg, &counts);
+        assert_eq!(seq, par);
+        let servers = [1, 2, 4];
+        let seq = device_capacity_sweep_with(&ExecPool::new(1), &cfg, &servers);
+        let par = device_capacity_sweep_with(&ExecPool::new(8), &cfg, &servers);
+        assert_eq!(seq, par);
     }
 }

@@ -5,8 +5,10 @@
 //! of the aggregate `C`, `α`, and `n` parameters the analytical model
 //! works with.
 
+use std::collections::VecDeque;
+
 use accelerometer::units::CyclesPerByte;
-use accelerometer::GranularityCdf;
+use accelerometer::{GranularityCdf, GranularitySampler};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -59,6 +61,11 @@ impl WorkloadSpec {
     /// Draws one request's work items. Host work is split around the
     /// kernel invocations so offloads interleave with useful work, which
     /// is what lets asynchronous designs overlap.
+    ///
+    /// This is the reference implementation (linear-scan quantile, fresh
+    /// allocation per request); the simulator's hot path uses
+    /// [`RequestSampler::draw_into`], which is tested to match it draw
+    /// for draw.
     pub fn draw_request(&self, rng: &mut StdRng) -> Vec<WorkItem> {
         let u: f64 = rng.gen_range(0.0..1.0);
         let host_total = -((1.0 - u).ln()) * self.non_kernel_cycles;
@@ -81,10 +88,61 @@ impl WorkloadSpec {
         items
     }
 
+    /// Builds a [`RequestSampler`] for repeated draws: the granularity
+    /// inverse-CDF is precomputed once, and requests can be drawn into a
+    /// reusable buffer instead of a fresh `Vec` each time.
+    #[must_use]
+    pub fn sampler(&self) -> RequestSampler {
+        RequestSampler {
+            non_kernel_cycles: self.non_kernel_cycles,
+            kernels_per_request: self.kernels_per_request,
+            quantile: self.granularity.sampler(),
+        }
+    }
+
     /// Host cycles to execute a kernel invocation locally.
     #[must_use]
     pub fn kernel_host_cycles(&self, bytes: f64) -> f64 {
         self.cycles_per_byte.get() * bytes
+    }
+}
+
+/// A request generator precomputed from a [`WorkloadSpec`] for the
+/// simulator's hot path.
+///
+/// Consumes the RNG in exactly the order [`WorkloadSpec::draw_request`]
+/// does — one uniform for the request's host total, then one per kernel
+/// granularity — so simulations driven through either path see the same
+/// random stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestSampler {
+    non_kernel_cycles: f64,
+    kernels_per_request: usize,
+    quantile: GranularitySampler,
+}
+
+impl RequestSampler {
+    /// Draws one request's work items into `out`, clearing it first.
+    /// The buffer's allocation is reused across requests.
+    pub fn draw_into(&self, rng: &mut StdRng, out: &mut VecDeque<WorkItem>) {
+        out.clear();
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let host_total = -((1.0 - u).ln()) * self.non_kernel_cycles;
+        let chunks = self.kernels_per_request + 1;
+        let host_chunk = host_total / chunks as f64;
+        for _ in 0..self.kernels_per_request {
+            if host_chunk > 0.0 {
+                out.push_back(WorkItem::Host(host_chunk));
+            }
+            let bytes = self.quantile.quantile(rng.gen_range(0.0..1.0)).get();
+            out.push_back(WorkItem::Kernel { bytes });
+        }
+        if host_chunk > 0.0 {
+            out.push_back(WorkItem::Host(host_chunk));
+        }
+        if out.is_empty() {
+            out.push_back(WorkItem::Host(1.0));
+        }
     }
 }
 
@@ -215,5 +273,28 @@ mod tests {
         };
         let mut rng = StdRng::seed_from_u64(3);
         assert!(!spec.draw_request(&mut rng).is_empty());
+    }
+
+    #[test]
+    fn sampler_draws_match_draw_request_bitwise() {
+        // The reusable-buffer sampler must consume the RNG in the same
+        // order and produce the same items as the allocating path, draw
+        // for draw, across many consecutive requests.
+        let spec = WorkloadSpec {
+            non_kernel_cycles: 1_500.0,
+            kernels_per_request: 2,
+            granularity: cdf(),
+            cycles_per_byte: CyclesPerByte::new(1.0),
+        };
+        let sampler = spec.sampler();
+        let mut rng_a = StdRng::seed_from_u64(42);
+        let mut rng_b = StdRng::seed_from_u64(42);
+        let mut buf = VecDeque::new();
+        for _ in 0..5_000 {
+            let reference = spec.draw_request(&mut rng_a);
+            sampler.draw_into(&mut rng_b, &mut buf);
+            let drawn: Vec<WorkItem> = buf.iter().copied().collect();
+            assert_eq!(reference, drawn);
+        }
     }
 }

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Tier-1 gate: everything a PR must keep green.
+#   build + full test suite + clippy (deny warnings) + a --jobs smoke run.
+# Usage: scripts/tier1.sh   (from the repo root)
+set -eu
+
+echo "== build (release) =="
+cargo build --workspace --release
+
+echo "== tests =="
+cargo test --workspace -q
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== --jobs smoke: tables table6 at widths 1 and 2 must match byte-for-byte =="
+out_dir="$(mktemp -d)"
+trap 'rm -rf "$out_dir"' EXIT
+./target/release/tables --jobs 1 table6 > "$out_dir/j1.txt"
+./target/release/tables --jobs 2 table6 > "$out_dir/j2.txt"
+cmp "$out_dir/j1.txt" "$out_dir/j2.txt"
+echo "tier1: OK"

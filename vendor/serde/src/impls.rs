@@ -284,7 +284,7 @@ where
         v.as_array()
             .ok_or_else(|| DeError::new(format!("expected array of map entries, got {v}")))?
             .iter()
-            .map(|pair| <(K, V)>::from_json_value(pair))
+            .map(<(K, V)>::from_json_value)
             .collect()
     }
 }
@@ -312,7 +312,7 @@ where
         v.as_array()
             .ok_or_else(|| DeError::new(format!("expected array of map entries, got {v}")))?
             .iter()
-            .map(|pair| <(K, V)>::from_json_value(pair))
+            .map(<(K, V)>::from_json_value)
             .collect()
     }
 }
