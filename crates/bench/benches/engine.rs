@@ -1,0 +1,131 @@
+//! Engine hot-loop benchmarks: events/sec through `Simulator::run` on a
+//! representative load-sweep configuration, for the unaccelerated
+//! baseline and one offloaded variant per threading design
+//! (Sync / Sync-OS / Async), plus the end-to-end load sweep those runs
+//! compose into and the percentile-summary cost at realistic sample
+//! counts.
+//!
+//! `BENCH_engine.json` tracks the BENCHJSON lines this prints, with
+//! before/after numbers for the packed event queue, the request slab,
+//! and the radix-selection percentile path.
+
+use accelerometer::units::cycles_per_byte;
+use accelerometer::{AccelerationStrategy, DriverMode, GranularityCdf, ThreadingDesign};
+use accelerometer_sim::parallel::ExecPool;
+use accelerometer_sim::workload::WorkloadSpec;
+use accelerometer_sim::{
+    concurrency_sweep_with, DeviceKind, LatencyStats, OffloadConfig, SimConfig, Simulator,
+};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The load-sweep base configuration (mirrors the determinism suite's
+/// sweep base): 2 cores, offload through a shared 2-server device.
+fn sweep_workload() -> WorkloadSpec {
+    WorkloadSpec {
+        non_kernel_cycles: 4_000.0,
+        kernels_per_request: 1,
+        granularity: GranularityCdf::from_points(vec![(256.0, 0.4), (1_024.0, 1.0)])
+            .expect("valid CDF"),
+        cycles_per_byte: cycles_per_byte(2.0),
+    }
+}
+
+fn base_config() -> SimConfig {
+    SimConfig {
+        cores: 2,
+        threads: 4,
+        context_switch_cycles: 400.0,
+        horizon: 2e7,
+        seed: 20_260_806,
+        workload: sweep_workload(),
+        offload: None,
+    }
+}
+
+fn offload(design: ThreadingDesign) -> OffloadConfig {
+    OffloadConfig {
+        design,
+        strategy: AccelerationStrategy::OffChip,
+        driver: DriverMode::Posted,
+        device: DeviceKind::Shared { servers: 2 },
+        peak_speedup: 4.0,
+        interface_latency: 8_000.0,
+        setup_cycles: 50.0,
+        dispatch_pollution: 0.0,
+        min_offload_bytes: None,
+    }
+}
+
+/// The four variants a load sweep exercises: the host-only baseline and
+/// one configuration per threading design family.
+fn variants() -> Vec<(&'static str, SimConfig)> {
+    let mut out = vec![("baseline", base_config())];
+    for (name, design) in [
+        ("sync", ThreadingDesign::Sync),
+        ("sync_os", ThreadingDesign::SyncOs),
+        ("async", ThreadingDesign::AsyncSameThread),
+    ] {
+        let mut cfg = base_config();
+        if design == ThreadingDesign::SyncOs {
+            cfg.threads = 8;
+        }
+        cfg.offload = Some(offload(design));
+        out.push((name, cfg));
+    }
+    out
+}
+
+fn bench_events(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/run");
+    for (name, cfg) in variants() {
+        let (_, stats) = Simulator::new(cfg.clone()).run_instrumented();
+        group.throughput(Throughput::Elements(stats.events_processed));
+        group.bench_with_input(BenchmarkId::new(name, "20M_cycles"), &cfg, |b, cfg| {
+            b.iter(|| Simulator::new(black_box(cfg.clone())).run())
+        });
+    }
+    group.finish();
+}
+
+fn bench_load_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/load_sweep");
+    let mut cfg = base_config();
+    cfg.offload = Some(offload(ThreadingDesign::SyncOs));
+    cfg.horizon = 1e7;
+    let counts = [2usize, 4, 8, 16];
+    group.throughput(Throughput::Elements(counts.len() as u64));
+    let pool = ExecPool::new(1);
+    group.bench_function("concurrency_2_to_16", |b| {
+        b.iter(|| concurrency_sweep_with(&pool, black_box(&cfg), &counts))
+    });
+    group.finish();
+}
+
+fn bench_percentiles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/percentiles");
+    for &n in &[10_000usize, 100_000, 1_000_000] {
+        let samples: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..n).map(|_| rng.gen_range(1e3..1e6)).collect()
+        };
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(
+            BenchmarkId::new("from_samples", n),
+            &samples,
+            |b, samples| b.iter(|| LatencyStats::from_samples(black_box(samples))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("from_samples_owned", n),
+            &samples,
+            |b, samples| {
+                b.iter(|| LatencyStats::from_samples_owned(black_box(samples.clone())))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_events, bench_load_sweep, bench_percentiles);
+criterion_main!(benches);

@@ -108,8 +108,11 @@ impl Aes128 {
     pub fn ctr_apply(&self, counter: &[u8; BLOCK_SIZE], data: &mut [u8]) -> usize {
         let mut blocks = 0;
         let mut ctr = *counter;
+        // One keystream block reused across chunks: refilled in place
+        // from the counter rather than materialised anew per block.
+        let mut keystream = [0u8; BLOCK_SIZE];
         for chunk in data.chunks_mut(BLOCK_SIZE) {
-            let mut keystream = ctr;
+            keystream.copy_from_slice(&ctr);
             self.encrypt_block(&mut keystream);
             for (byte, ks) in chunk.iter_mut().zip(keystream.iter()) {
                 *byte ^= ks;
@@ -169,10 +172,27 @@ fn increment_counter(ctr: &mut [u8; BLOCK_SIZE]) {
 /// ciphertext.
 #[must_use]
 pub fn encrypt_ctr(key: &[u8; KEY_SIZE], counter: &[u8; BLOCK_SIZE], plaintext: &[u8]) -> Vec<u8> {
-    let cipher = Aes128::new(key);
-    let mut out = plaintext.to_vec();
-    cipher.ctr_apply(counter, &mut out);
+    let mut out = Vec::new();
+    encrypt_ctr_into(key, counter, plaintext, &mut out);
     out
+}
+
+/// [`encrypt_ctr`] without the per-call allocation: writes the
+/// ciphertext into `out`, reusing whatever capacity it already holds.
+/// `out` is cleared first, so it ends up holding exactly the
+/// ciphertext. Returns the number of AES block operations performed
+/// (the same count [`Aes128::ctr_apply`] reports), so batch callers can
+/// still derive per-block cost.
+pub fn encrypt_ctr_into(
+    key: &[u8; KEY_SIZE],
+    counter: &[u8; BLOCK_SIZE],
+    plaintext: &[u8],
+    out: &mut Vec<u8>,
+) -> usize {
+    let cipher = Aes128::new(key);
+    out.clear();
+    out.extend_from_slice(plaintext);
+    cipher.ctr_apply(counter, out)
 }
 
 #[cfg(test)]
@@ -280,6 +300,21 @@ mod tests {
         assert_eq!(blocks, 7); // ceil(100 / 16)
         let mut empty: Vec<u8> = vec![];
         assert_eq!(cipher.ctr_apply(&[0u8; 16], &mut empty), 0);
+    }
+
+    #[test]
+    fn encrypt_ctr_into_matches_and_reuses_capacity() {
+        let key = [3u8; 16];
+        let counter = [5u8; 16];
+        let mut out = Vec::with_capacity(4_096);
+        let base = out.capacity();
+        for len in [0usize, 1, 16, 100, 1_000] {
+            let plaintext: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let blocks = encrypt_ctr_into(&key, &counter, &plaintext, &mut out);
+            assert_eq!(out, encrypt_ctr(&key, &counter, &plaintext));
+            assert_eq!(blocks, len.div_ceil(16));
+            assert_eq!(out.capacity(), base, "buffer reallocated at len {len}");
+        }
     }
 
     #[test]

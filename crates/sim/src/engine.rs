@@ -9,8 +9,7 @@
 //! Its measured A/B throughput therefore plays the role of the paper's
 //! production measurements.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 use accelerometer::{AccelerationStrategy, DriverMode, ThreadingDesign};
 use rand::rngs::StdRng;
@@ -18,6 +17,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use crate::device::{Device, DeviceKind};
+use crate::equeue::EventQueue;
 use crate::metrics::{LatencyStats, SimMetrics};
 use crate::time::SimTime;
 use crate::workload::{RequestSampler, WorkItem, WorkloadSpec};
@@ -105,30 +105,6 @@ enum Event {
     },
 }
 
-#[derive(Debug)]
-struct EventEntry {
-    time: SimTime,
-    seq: u64,
-    event: Event,
-}
-
-impl PartialEq for EventEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for EventEntry {}
-impl PartialOrd for EventEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for EventEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
-    }
-}
-
 #[derive(Debug, Default, Clone, Copy, PartialEq)]
 enum ThreadState {
     #[default]
@@ -137,6 +113,10 @@ enum ThreadState {
     Blocked,
 }
 
+/// One worker thread. Both queues retain their allocations for the
+/// whole run: `items` is refilled in place by `RequestSampler::draw_into`
+/// (which clears without shrinking), and `pickups` only ever pops what it
+/// pushed — neither reallocates after warm-up.
 #[derive(Debug)]
 struct Thread {
     state: ThreadState,
@@ -145,13 +125,35 @@ struct Thread {
     pickups: VecDeque<usize>,
 }
 
+/// Engine-internal counters returned by [`Simulator::run_instrumented`].
+///
+/// These are observability numbers for benchmarks and tests; they are
+/// deliberately *not* part of [`SimMetrics`], whose serialized form is
+/// pinned byte-for-byte by the golden-output tests.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct EngineStats {
+    /// Events popped and executed by the run loop.
+    pub events_processed: u64,
+    /// Events scheduled (some may remain unprocessed at the horizon).
+    pub events_scheduled: u64,
+    /// Peak number of live (incomplete) requests: the request slab's
+    /// high-water mark, which stays O(in-flight) rather than growing
+    /// with every request the horizon admits.
+    pub peak_live_requests: usize,
+}
+
+/// Per-request accounting, held in a slab slot only while the request is
+/// live. Completion retires the slot to a free list for the next request
+/// to recycle, so long-horizon memory stays O(in-flight) and the hot
+/// slots stay cache-resident; the old `completed` tombstone flag is gone
+/// because a retired slot simply leaves the slab.
 #[derive(Debug, Clone, Copy)]
 struct RequestState {
     start: SimTime,
     outstanding: u32,
     host_done: bool,
     completion_lower_bound: SimTime,
-    completed: bool,
 }
 
 /// The simulator.
@@ -163,19 +165,25 @@ pub struct Simulator {
     rng: StdRng,
     now: SimTime,
     seq: u64,
-    events: BinaryHeap<Reverse<EventEntry>>,
+    events: EventQueue<Event>,
     threads: Vec<Thread>,
     ready: VecDeque<usize>,
     free_cores: Vec<usize>,
     core_last_thread: Vec<Option<usize>>,
     device: Option<Device>,
+    /// Request slab: live request state, indexed by slab handle.
     requests: Vec<RequestState>,
+    /// Retired slab slots awaiting reuse (LIFO keeps them cache-hot).
+    free_requests: Vec<usize>,
     completed: u64,
     latencies: Vec<f64>,
     core_busy: f64,
     offloads: u64,
     suppressed: u64,
     switches: u64,
+    events_processed: u64,
+    live_requests: usize,
+    peak_live_requests: usize,
 }
 
 impl Simulator {
@@ -210,16 +218,26 @@ impl Simulator {
             core_last_thread: vec![None; cfg.cores],
             threads,
             device,
-            requests: Vec::new(),
+            // The slab only ever holds live requests, so sizing it to
+            // the thread count (each thread drives one request, plus a
+            // little slack for requests finishing asynchronously) avoids
+            // regrowth for most runs.
+            requests: Vec::with_capacity(2 * cfg.threads),
+            free_requests: Vec::with_capacity(2 * cfg.threads),
             completed: 0,
             latencies: Vec::new(),
             core_busy: 0.0,
             offloads: 0,
             suppressed: 0,
             switches: 0,
+            events_processed: 0,
+            live_requests: 0,
+            peak_live_requests: 0,
             now: SimTime::ZERO,
             seq: 0,
-            events: BinaryHeap::new(),
+            // Pending events are bounded by threads plus in-flight
+            // offload completions; 2×threads covers both in practice.
+            events: EventQueue::with_capacity(2 * cfg.threads + 8),
             rng,
             cfg,
         }
@@ -227,23 +245,30 @@ impl Simulator {
 
     fn push_event(&mut self, time: SimTime, event: Event) {
         self.seq += 1;
-        self.events.push(Reverse(EventEntry {
-            time,
-            seq: self.seq,
-            event,
-        }));
+        self.events.push(time, self.seq, event);
     }
 
     /// Runs the simulation to the horizon and returns the metrics.
     #[must_use]
-    pub fn run(mut self) -> SimMetrics {
+    pub fn run(self) -> SimMetrics {
+        self.run_instrumented().0
+    }
+
+    /// Runs the simulation and additionally returns engine-internal
+    /// counters ([`EngineStats`]) that are not part of the serialized
+    /// [`SimMetrics`] contract: benchmarks use the event count to report
+    /// events/sec, and tests use the peak-live-request count to pin the
+    /// O(in-flight) memory behaviour.
+    #[must_use]
+    pub fn run_instrumented(mut self) -> (SimMetrics, EngineStats) {
         self.schedule();
-        while let Some(Reverse(entry)) = self.events.pop() {
-            if entry.time.cycles() > self.cfg.horizon {
+        while let Some((time, event)) = self.events.pop() {
+            if time.cycles() > self.cfg.horizon {
                 break;
             }
-            self.now = entry.time;
-            match entry.event {
+            self.events_processed += 1;
+            self.now = time;
+            match event {
                 Event::SliceDone { thread, core } => {
                     self.step_thread(thread, core, self.now);
                 }
@@ -456,14 +481,27 @@ impl Simulator {
     }
 
     fn begin_request(&mut self, thread: usize, start: SimTime) {
-        let request = self.requests.len();
-        self.requests.push(RequestState {
+        let state = RequestState {
             start,
             outstanding: 0,
             host_done: false,
             completion_lower_bound: start,
-            completed: false,
-        });
+        };
+        // Recycle the most recently retired slab slot (it is the most
+        // likely to still be in cache); grow only when every slot holds
+        // a live request.
+        let request = match self.free_requests.pop() {
+            Some(slot) => {
+                self.requests[slot] = state;
+                slot
+            }
+            None => {
+                self.requests.push(state);
+                self.requests.len() - 1
+            }
+        };
+        self.live_requests += 1;
+        self.peak_live_requests = self.peak_live_requests.max(self.live_requests);
         // Draw directly into the thread's (drained) item buffer so its
         // allocation is reused request after request. Disjoint field
         // borrows keep the sampler, RNG, and buffer independent.
@@ -487,17 +525,22 @@ impl Simulator {
     }
 
     fn try_complete(&mut self, request: usize, at: SimTime) {
-        let state = &mut self.requests[request];
-        if state.completed || !state.host_done || state.outstanding > 0 {
+        let state = &self.requests[request];
+        if !state.host_done || state.outstanding > 0 {
             return;
         }
-        state.completed = true;
+        // A request completes exactly once: every caller either just
+        // decremented `outstanding` (impossible once it reached zero
+        // here) or just set `host_done` (set once per request), so no
+        // call can observe this state again before the slot is reused.
         let end = state.completion_lower_bound.max(at);
         self.completed += 1;
+        self.live_requests -= 1;
         self.latencies.push(end - state.start);
+        self.free_requests.push(request);
     }
 
-    fn finish(self) -> SimMetrics {
+    fn finish(self) -> (SimMetrics, EngineStats) {
         let horizon = self.cfg.horizon;
         let (mean_queue_delay, device_utilization, device_offloads) = self
             .device
@@ -505,11 +548,11 @@ impl Simulator {
             .map_or((0.0, 0.0, 0), |d| {
                 (d.mean_queue_delay(), d.utilization(horizon), d.offloads())
             });
-        SimMetrics {
+        let metrics = SimMetrics {
             horizon_cycles: horizon,
             completed_requests: self.completed,
             throughput_per_gcycle: self.completed as f64 / horizon * 1e9,
-            latency: LatencyStats::from_samples(&self.latencies),
+            latency: LatencyStats::from_samples_owned(self.latencies),
             core_utilization: self.core_busy / (self.cfg.cores as f64 * horizon),
             offloads_dispatched: self.offloads,
             offloads_suppressed: self.suppressed,
@@ -517,7 +560,13 @@ impl Simulator {
             device_utilization,
             device_offloads,
             thread_switches: self.switches,
-        }
+        };
+        let stats = EngineStats {
+            events_processed: self.events_processed,
+            events_scheduled: self.seq,
+            peak_live_requests: self.peak_live_requests,
+        };
+        (metrics, stats)
     }
 }
 

@@ -45,6 +45,7 @@ pub mod abtest;
 pub mod casestudy;
 pub mod device;
 pub mod engine;
+mod equeue;
 pub mod loadsweep;
 pub mod metrics;
 pub mod parallel;
@@ -58,7 +59,7 @@ pub use loadsweep::{
     concurrency_sweep, concurrency_sweep_with, device_capacity_sweep, device_capacity_sweep_with,
     ConcurrencySweep, LoadPoint,
 };
-pub use engine::{OffloadConfig, SimConfig, Simulator};
+pub use engine::{EngineStats, OffloadConfig, SimConfig, Simulator};
 pub use metrics::{LatencyStats, SimMetrics};
 pub use parallel::{derive_seed, run_batch, run_replicas, ExecPool};
 pub use time::SimTime;

@@ -23,20 +23,127 @@ impl LatencyStats {
     /// Computes summary statistics from raw samples.
     #[must_use]
     pub fn from_samples(samples: &[f64]) -> Self {
+        Self::from_samples_owned(samples.to_vec())
+    }
+
+    /// [`from_samples`](Self::from_samples) without the defensive copy:
+    /// takes ownership of the sample buffer (the engine hands over its
+    /// latency vector at the end of a run).
+    ///
+    /// The statistics are *bit-identical* to the original
+    /// clone-and-`sort_by(total_cmp)` implementation, but computed in
+    /// O(n): samples are mapped through the monotone total-order bit
+    /// transform (the same order `f64::total_cmp` defines) and the `u64`
+    /// keys are radix-sorted. Producing the full ascending order — rather
+    /// than `select_nth_unstable_by` partitions — matters for exactness:
+    /// the mean is a sequential f64 fold over the *sorted* sequence, and
+    /// any other summation order could round differently in the last ulp,
+    /// which the golden-output tests would flag as drift.
+    #[must_use]
+    pub fn from_samples_owned(samples: Vec<f64>) -> Self {
         if samples.is_empty() {
             return Self::default();
         }
-        let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.total_cmp(b));
-        let pick = |p: f64| sorted[((sorted.len() - 1) as f64 * p).round() as usize];
+        let n = samples.len();
+        let mut keys: Vec<u64> = samples.iter().map(|&x| total_order_key(x)).collect();
+        drop(samples);
+        if n < RADIX_MIN_LEN {
+            // Plain u64 sort beats radix setup cost on small inputs and
+            // yields the identical ascending sequence.
+            keys.sort_unstable();
+        } else {
+            radix_sort_u64(&mut keys);
+        }
+        let mut sum = 0.0;
+        for &k in &keys {
+            sum += key_to_f64(k);
+        }
+        let pick = |p: f64| key_to_f64(keys[((n - 1) as f64 * p).round() as usize]);
         Self {
-            count: sorted.len(),
-            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            count: n,
+            mean: sum / n as f64,
             p50: pick(0.50),
             p95: pick(0.95),
             p99: pick(0.99),
-            max: *sorted.last().expect("non-empty"),
+            max: key_to_f64(*keys.last().expect("non-empty")),
         }
+    }
+}
+
+/// Below this length the constant-factor cost of radix sorting exceeds
+/// a plain `u64` comparison sort.
+const RADIX_MIN_LEN: usize = 2_048;
+
+/// Maps an `f64` to a `u64` whose unsigned order equals
+/// [`f64::total_cmp`]'s total order (IEEE-754 totalOrder): negative
+/// floats have all bits flipped, non-negative floats have the sign bit
+/// set. Bijective, so [`key_to_f64`] recovers the exact input bits.
+#[inline]
+fn total_order_key(x: f64) -> u64 {
+    let bits = x.to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+/// Exact inverse of [`total_order_key`].
+#[inline]
+fn key_to_f64(key: u64) -> f64 {
+    if key >> 63 == 1 {
+        f64::from_bits(key & !(1 << 63))
+    } else {
+        f64::from_bits(!key)
+    }
+}
+
+/// LSD radix sort (base 256) over `u64` keys: O(n) with at most eight
+/// counting passes. A single histogram pre-pass detects digits whose
+/// value is constant across all keys — for latency samples, which share
+/// a narrow exponent range, the top bytes almost always are — and skips
+/// their passes entirely.
+fn radix_sort_u64(keys: &mut Vec<u64>) {
+    let mut histograms = [[0usize; 256]; 8];
+    for &k in keys.iter() {
+        for (digit, histogram) in histograms.iter_mut().enumerate() {
+            histogram[(k >> (8 * digit)) as u8 as usize] += 1;
+        }
+    }
+    let n = keys.len();
+    let mut scratch = vec![0u64; n];
+    let mut src_is_keys = true;
+    for (digit, histogram) in histograms.iter().enumerate() {
+        // A digit where every key shares one byte value permutes nothing.
+        if histogram.contains(&n) {
+            continue;
+        }
+        let mut offsets = [0usize; 256];
+        let mut running = 0;
+        for (offset, &count) in offsets.iter_mut().zip(histogram.iter()) {
+            *offset = running;
+            running += count;
+        }
+        if src_is_keys {
+            scatter_digit(keys, &mut scratch, digit, &mut offsets);
+        } else {
+            scatter_digit(&scratch, keys, digit, &mut offsets);
+        }
+        src_is_keys = !src_is_keys;
+    }
+    if !src_is_keys {
+        std::mem::swap(keys, &mut scratch);
+    }
+}
+
+/// One stable counting-sort pass: distributes `src` into `dst` by the
+/// given byte digit, advancing the per-bucket write offsets.
+#[inline]
+fn scatter_digit(src: &[u64], dst: &mut [u64], digit: usize, offsets: &mut [usize; 256]) {
+    for &k in src {
+        let byte = (k >> (8 * digit)) as u8 as usize;
+        dst[offsets[byte]] = k;
+        offsets[byte] += 1;
     }
 }
 
@@ -96,6 +203,82 @@ mod tests {
         assert!((s.p50 - 50.0).abs() <= 1.0);
         assert!(s.p99 >= 99.0);
         assert!(s.p95 >= 95.0 && s.p95 <= 96.0);
+    }
+
+    /// The reference implementation this module's radix path replaced:
+    /// clone, comparison-sort by `total_cmp`, fold the sorted order.
+    fn reference_stats(samples: &[f64]) -> LatencyStats {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let pick = |p: f64| sorted[((sorted.len() - 1) as f64 * p).round() as usize];
+        LatencyStats {
+            count: sorted.len(),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50: pick(0.50),
+            p95: pick(0.95),
+            p99: pick(0.99),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+
+    /// Pseudo-random but deterministic latency-like samples.
+    fn lcg_samples(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                // Fractional cycle counts over several exponent decades.
+                1e2 + (state >> 11) as f64 / (1u64 << 33) as f64 * 9e5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn radix_path_is_bit_identical_to_comparison_sort() {
+        // Straddle the RADIX_MIN_LEN switch-over on both sides, plus
+        // duplicate-heavy and constant inputs.
+        for &n in &[1usize, 2, 100, 2_047, 2_048, 2_049, 50_000] {
+            let samples = lcg_samples(n, 0x5EED + n as u64);
+            let expect = reference_stats(&samples);
+            let got = LatencyStats::from_samples_owned(samples.clone());
+            assert_eq!(got, expect, "n = {n}");
+            assert_eq!(LatencyStats::from_samples(&samples), expect, "n = {n}");
+        }
+        let constant = vec![123.456_f64; 10_000];
+        assert_eq!(
+            LatencyStats::from_samples_owned(constant.clone()),
+            reference_stats(&constant)
+        );
+    }
+
+    #[test]
+    fn total_order_key_round_trips_and_orders() {
+        let values = [
+            0.0_f64,
+            -0.0,
+            1.5,
+            -1.5,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            f64::MIN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ];
+        for &v in &values {
+            assert_eq!(key_to_f64(total_order_key(v)).to_bits(), v.to_bits());
+        }
+        for &a in &values {
+            for &b in &values {
+                assert_eq!(
+                    total_order_key(a).cmp(&total_order_key(b)),
+                    a.total_cmp(&b),
+                    "{a} vs {b}"
+                );
+            }
+        }
     }
 
     #[test]

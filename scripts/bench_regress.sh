@@ -1,0 +1,72 @@
+#!/bin/sh
+# Benchmark regression gate: re-runs the recorded benches and fails if
+# any benchmark's mean regresses more than the tolerance versus the
+# committed BENCH_*.json record.
+#
+# Usage: scripts/bench_regress.sh
+#
+# Knobs:
+#   BENCH_REGRESS_TOLERANCE_PCT  allowed mean regression (default 15)
+#   CRITERION_BUDGET_MS          per-benchmark budget (default 400, the
+#                                budget the committed records used)
+#
+# Opt-in from tier1: BENCH_REGRESS=1 scripts/tier1.sh — the gate stays
+# off the default tier-1 path because wall-clock on a shared 1-core
+# container is too noisy to block commits unconditionally.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TOLERANCE_PCT="${BENCH_REGRESS_TOLERANCE_PCT:-15}"
+export CRITERION_BUDGET_MS="${CRITERION_BUDGET_MS:-400}"
+
+command -v jq >/dev/null 2>&1 || {
+    echo "bench_regress: jq not found; cannot compare records" >&2
+    exit 2
+}
+
+status=0
+for record in BENCH_engine.json BENCH_parallel.json; do
+    [ -f "$record" ] || {
+        echo "bench_regress: missing record $record" >&2
+        status=1
+        continue
+    }
+    bench_name=$(basename "$record" .json | sed 's/^BENCH_//')
+    echo "== $bench_name: re-running (budget ${CRITERION_BUDGET_MS} ms, tolerance ${TOLERANCE_PCT}%) =="
+    out=$(cargo bench -q -p accelerometer-bench --bench "$bench_name" 2>/dev/null | grep '^BENCHJSON ' | sed 's/^BENCHJSON //')
+    if [ -z "$out" ]; then
+        echo "bench_regress: bench $bench_name produced no BENCHJSON output" >&2
+        status=1
+        continue
+    fi
+    # Join committed and fresh means by id, then let awk render the
+    # readable diff and flag regressions beyond tolerance.
+    committed=$(jq -r '.results[] | "BASE\t\(.id)\t\(.mean_ns)"' "$record")
+    fresh=$(printf '%s\n' "$out" | jq -r '"CUR\t\(.id)\t\(.mean_ns)"')
+    report=$(printf '%s\n%s\n' "$committed" "$fresh" | awk -F'\t' -v tol="$TOLERANCE_PCT" '
+        $1 == "BASE" { base[$2] = $3; order[n++] = $2; next }
+        $1 == "CUR" { cur[$2] = $3 }
+        END {
+            fail = 0
+            printf "%-52s %14s %14s %9s\n", "benchmark", "recorded_ns", "current_ns", "delta"
+            for (i = 0; i < n; i++) {
+                id = order[i]
+                if (!(id in cur)) { printf "%-52s %14.0f %14s %9s  MISSING\n", id, base[id], "-", "-"; fail = 1; continue }
+                delta = (cur[id] / base[id] - 1) * 100
+                flag = ""
+                if (delta > tol) { flag = "  REGRESSED"; fail = 1 }
+                printf "%-52s %14.0f %14.0f %+8.1f%%%s\n", id, base[id], cur[id], delta, flag
+            }
+            exit fail
+        }') || status=1
+    printf '%s\n' "$report"
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "bench_regress: FAIL — at least one mean regressed > ${TOLERANCE_PCT}% (or a record/benchmark is missing)" >&2
+    echo "If the regression is intentional, re-record with:" >&2
+    echo "  CRITERION_BUDGET_MS=400 cargo bench -p accelerometer-bench --bench <name>  # then update BENCH_<name>.json" >&2
+    exit 1
+fi
+echo "bench_regress: OK — no mean regressed more than ${TOLERANCE_PCT}%"

@@ -2,6 +2,9 @@
 # Tier-1 gate: everything a PR must keep green.
 #   build + full test suite + clippy (deny warnings) + a --jobs smoke run.
 # Usage: scripts/tier1.sh   (from the repo root)
+# Opt-in: BENCH_REGRESS=1 additionally runs scripts/bench_regress.sh
+# (off by default — shared-container wall clock is too noisy to block
+# every commit on it).
 set -eu
 
 echo "== build (release) =="
@@ -19,4 +22,10 @@ trap 'rm -rf "$out_dir"' EXIT
 ./target/release/tables --jobs 1 table6 > "$out_dir/j1.txt"
 ./target/release/tables --jobs 2 table6 > "$out_dir/j2.txt"
 cmp "$out_dir/j1.txt" "$out_dir/j2.txt"
+
+if [ "${BENCH_REGRESS:-0}" = "1" ]; then
+    echo "== bench regression gate (opt-in) =="
+    sh scripts/bench_regress.sh
+fi
+
 echo "tier1: OK"

@@ -2,15 +2,22 @@
 //!
 //! Keeps the `Criterion` / `BenchmarkGroup` / `Bencher` call surface so
 //! the workspace's `harness = false` benches compile and run, but the
-//! statistics engine is a simple wall-clock loop: warm up, then run
-//! until a time budget is spent, and report the mean per-iteration
-//! time. Results print to stdout as `name ... time: <t>` lines plus a
-//! machine-readable `BENCHJSON {...}` line per benchmark so scripts can
-//! scrape timings.
+//! statistics engine is a simple wall-clock loop: each iteration is
+//! timed individually until a time budget is spent, the first `K`
+//! samples are discarded as warm-up (cold caches, first-touch page
+//! faults, frequency ramp), and both the raw mean and a 10%-per-tail
+//! trimmed mean of the surviving samples are reported. The trimmed mean
+//! is the robust number — one scheduler preemption can double a raw
+//! mean on a short budget — while the raw mean is kept for continuity
+//! with earlier recorded results. Results print to stdout as
+//! `name ... time: <t>` lines plus a machine-readable `BENCHJSON {...}`
+//! line per benchmark so scripts can scrape timings.
 //!
 //! Environment knobs:
 //! - `CRITERION_BUDGET_MS` — per-benchmark measurement budget
 //!   (default 120).
+//! - `CRITERION_WARMUP_ITERS` — warm-up iterations discarded from the
+//!   front of the sample set (default 5).
 
 #![forbid(unsafe_code)]
 
@@ -77,31 +84,42 @@ impl IntoBenchmarkId for String {
 /// Timing loop handle passed to benchmark closures.
 pub struct Bencher {
     mean_ns: f64,
+    trimmed_mean_ns: f64,
     iters: u64,
 }
 
 impl Bencher {
-    /// Measures `routine` by running it repeatedly.
+    /// Measures `routine` by running it repeatedly, timing each
+    /// iteration. The first `CRITERION_WARMUP_ITERS` samples are
+    /// discarded; the rest feed a raw mean and a 10%-per-tail trimmed
+    /// mean.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         let budget = budget();
-        // Warm-up: a few untimed runs to populate caches.
-        for _ in 0..3 {
-            black_box(routine());
-        }
+        let warmup = warmup_iters();
+        let mut samples_ns: Vec<u64> = Vec::with_capacity(1_024);
         let started = Instant::now();
-        let mut iters: u64 = 0;
-        let mut elapsed;
         loop {
+            let iter_started = Instant::now();
             black_box(routine());
-            iters += 1;
-            elapsed = started.elapsed();
-            if elapsed >= budget || iters >= 1_000_000 {
+            samples_ns.push(iter_started.elapsed().as_nanos() as u64);
+            if started.elapsed() >= budget || samples_ns.len() >= 1_000_000 {
                 break;
             }
         }
-        self.mean_ns = elapsed.as_nanos() as f64 / iters as f64;
-        self.iters = iters;
+        // Warm-up phase: drop the leading samples, but always keep at
+        // least one so short budgets still report something.
+        let keep_from = warmup.min(samples_ns.len() - 1);
+        let kept = &mut samples_ns[keep_from..];
+        self.iters = kept.len() as u64;
+        self.mean_ns = mean(kept);
+        kept.sort_unstable();
+        let trim = kept.len() / 10;
+        self.trimmed_mean_ns = mean(&kept[trim..kept.len() - trim]);
     }
+}
+
+fn mean(samples_ns: &[u64]) -> f64 {
+    samples_ns.iter().map(|&ns| ns as f64).sum::<f64>() / samples_ns.len() as f64
 }
 
 fn budget() -> Duration {
@@ -110,6 +128,13 @@ fn budget() -> Duration {
         .and_then(|v| v.parse::<u64>().ok())
         .unwrap_or(120);
     Duration::from_millis(ms)
+}
+
+fn warmup_iters() -> usize {
+    std::env::var("CRITERION_WARMUP_ITERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(5)
 }
 
 fn human_time(ns: f64) -> String {
@@ -127,17 +152,21 @@ fn human_time(ns: f64) -> String {
 fn run_one<F: FnMut(&mut Bencher)>(full_id: &str, throughput: Option<Throughput>, mut f: F) {
     let mut bencher = Bencher {
         mean_ns: 0.0,
+        trimmed_mean_ns: 0.0,
         iters: 0,
     };
     f(&mut bencher);
+    // The trimmed mean is the headline number; the raw mean rides along
+    // for comparison (a large gap between them flags a noisy run).
     let mut line = format!(
-        "{full_id:<48} time: {:>12}   ({} iters)",
+        "{full_id:<48} time: {:>12}   (raw {}, {} iters)",
+        human_time(bencher.trimmed_mean_ns),
         human_time(bencher.mean_ns),
         bencher.iters
     );
     let mut extra = String::new();
     if let Some(tp) = throughput {
-        let per_sec = |count: u64| count as f64 / (bencher.mean_ns / 1e9);
+        let per_sec = |count: u64| count as f64 / (bencher.trimmed_mean_ns / 1e9);
         match tp {
             Throughput::Bytes(n) => {
                 line.push_str(&format!("   {:.1} MiB/s", per_sec(n) / (1024.0 * 1024.0)));
@@ -151,8 +180,8 @@ fn run_one<F: FnMut(&mut Bencher)>(full_id: &str, throughput: Option<Throughput>
     }
     println!("{line}");
     println!(
-        "BENCHJSON {{\"id\":\"{full_id}\",\"mean_ns\":{:.1},\"iters\":{}{extra}}}",
-        bencher.mean_ns, bencher.iters
+        "BENCHJSON {{\"id\":\"{full_id}\",\"mean_ns\":{:.1},\"trimmed_mean_ns\":{:.1},\"iters\":{}{extra}}}",
+        bencher.mean_ns, bencher.trimmed_mean_ns, bencher.iters
     );
 }
 
