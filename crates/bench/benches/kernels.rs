@@ -8,7 +8,7 @@
 //! 64 B–4 KiB (Fig. 21).
 
 use accelerometer_kernels::aes::Aes128;
-use accelerometer_kernels::mlp::Mlp;
+use accelerometer_kernels::mlp::{Mlp, MlpScratch};
 use accelerometer_kernels::{hash, lz, SizeClassAllocator};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
@@ -47,6 +47,22 @@ fn bench_compression(c: &mut Criterion) {
     }
     group.finish();
 
+    // Scratch-reuse path: one compressor context reused across calls,
+    // the way a service's request loop would hold one per connection.
+    let mut group = c.benchmark_group("kernels/lz_compress_scratch");
+    let size = 4096usize;
+    let input = data(size);
+    let mut scratch = lz::LzScratch::new();
+    let mut out = Vec::new();
+    group.throughput(Throughput::Bytes(size as u64));
+    group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+        b.iter(|| {
+            lz::compress_into(black_box(&input), &mut scratch, &mut out);
+            black_box(out.as_slice());
+        })
+    });
+    group.finish();
+
     let mut group = c.benchmark_group("kernels/lz_decompress");
     for &size in &[4096usize, 32_768] {
         let compressed = lz::compress(&data(size));
@@ -65,6 +81,21 @@ fn bench_hashing(c: &mut Criterion) {
     group.bench_function("sha256_4k", |b| b.iter(|| hash::sha256(black_box(&input))));
     group.bench_function("fnv1a_4k", |b| b.iter(|| hash::fnv1a_64(black_box(&input))));
     group.finish();
+
+    // Large-input hashing at 64 KiB and 1 MiB: the per-byte compression
+    // cost dominates, so these are the purest view of the SHA-256
+    // kernel's Cb (and the sizes where a copy-and-pad implementation
+    // pays an extra full-message memcpy per call).
+    let mut group = c.benchmark_group("kernels/hashing");
+    let large = data(65_536);
+    group.throughput(Throughput::Bytes(65_536));
+    group.bench_function("sha256_64k", |b| b.iter(|| hash::sha256(black_box(&large))));
+    group.finish();
+    let mut group = c.benchmark_group("kernels/hashing");
+    let huge = data(1 << 20);
+    group.throughput(Throughput::Bytes(1 << 20));
+    group.bench_function("sha256_1m", |b| b.iter(|| hash::sha256(black_box(&huge))));
+    group.finish();
 }
 
 fn bench_mlp(c: &mut Criterion) {
@@ -75,6 +106,26 @@ fn bench_mlp(c: &mut Criterion) {
     group.throughput(Throughput::Elements(mlp.macs() as u64));
     group.bench_function("ranker_512x256x64x1", |b| {
         b.iter(|| mlp.infer(black_box(&features)).expect("valid input"))
+    });
+    group.finish();
+
+    // Batched inference at B=16: the granularity Ads1 batches offloads
+    // at (§4, case study 3). One scratch reused across calls, so each
+    // layer's weight matrix is streamed once per batch, not once per
+    // input.
+    let batch: Vec<Vec<f32>> = (0..16)
+        .map(|i| (0..512).map(|j| (i * 512 + j) as f32 / 8192.0).collect())
+        .collect();
+    let mut group = c.benchmark_group("kernels/mlp_inference");
+    group.throughput(Throughput::Elements(16 * mlp.macs() as u64));
+    let mut scratch = MlpScratch::new();
+    let mut out = Vec::new();
+    group.bench_function("batch16_512x256x64x1", |b| {
+        b.iter(|| {
+            mlp.forward_batch(black_box(&batch), &mut scratch, &mut out)
+                .expect("valid input");
+            black_box(out.as_slice());
+        })
     });
     group.finish();
 }

@@ -121,10 +121,20 @@ impl KvMessage {
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(16);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Encodes the message into `out` (cleared first), reusing the
+    /// buffer's capacity — the allocation-free path for a request loop
+    /// serializing many messages. Output bytes are identical to
+    /// [`KvMessage::encode`]'s.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
         match self {
             KvMessage::Get { key } => {
                 out.push(TAG_GET);
-                put_bytes(&mut out, key);
+                put_bytes(out, key);
             }
             KvMessage::Set {
                 key,
@@ -132,17 +142,16 @@ impl KvMessage {
                 ttl_seconds,
             } => {
                 out.push(TAG_SET);
-                put_bytes(&mut out, key);
-                put_bytes(&mut out, value);
-                put_varint(&mut out, *ttl_seconds);
+                put_bytes(out, key);
+                put_bytes(out, value);
+                put_varint(out, *ttl_seconds);
             }
             KvMessage::Hit { value } => {
                 out.push(TAG_HIT);
-                put_bytes(&mut out, value);
+                put_bytes(out, value);
             }
             KvMessage::Miss => out.push(TAG_MISS),
         }
-        out
     }
 
     /// Decodes a message, requiring the buffer to be exactly one message.

@@ -114,6 +114,36 @@ impl Harness {
         }
     }
 
+    /// Measures a kernel in batches: `batch_size` invocations per timer
+    /// read, `batches` timer reads. Amortizing the clock read over a
+    /// batch keeps timer overhead out of the measured kernel cost — the
+    /// same trick the criterion harness uses for warm-up — which matters
+    /// for kernels whose per-call cost is within an order of magnitude
+    /// of `Instant::now()` itself.
+    pub fn measure_batched<T>(
+        &self,
+        batches: u64,
+        batch_size: u64,
+        bytes_per_invocation: u64,
+        mut kernel: impl FnMut() -> T,
+    ) -> BatchedMeasurement {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..batches {
+            let start = Instant::now();
+            for _ in 0..batch_size {
+                black_box(kernel());
+            }
+            elapsed += start.elapsed();
+        }
+        BatchedMeasurement {
+            batches,
+            batch_size,
+            bytes_processed: batches * batch_size * bytes_per_invocation,
+            elapsed,
+            clock_hz: self.clock_hz,
+        }
+    }
+
     /// Constructs a measurement from a known elapsed time (for tests and
     /// for replaying external measurements, e.g. device spec sheets).
     #[must_use]
@@ -127,6 +157,59 @@ impl Harness {
             bytes_processed: invocations * bytes_per_invocation,
             invocations,
             elapsed,
+            clock_hz: self.clock_hz,
+        }
+    }
+}
+
+/// A completed batched measurement: `batch_size` kernel invocations per
+/// timer read (see [`Harness::measure_batched`]).
+///
+/// Reports both granularities the model calibrates against: per-call
+/// cost (the `α·C` of one kernel execution) and per-batch cost (the
+/// granularity an offload dispatches at when invocations are batched to
+/// amortize the interface cost, as in the paper's Fig. 14 study).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchedMeasurement {
+    /// Number of timer reads (batches).
+    pub batches: u64,
+    /// Kernel invocations per batch.
+    pub batch_size: u64,
+    /// Total bytes the kernel processed.
+    pub bytes_processed: u64,
+    /// Elapsed wall time summed across batches.
+    pub elapsed: Duration,
+    /// The nominal host clock used to convert time to cycles (Hz).
+    pub clock_hz: f64,
+}
+
+impl BatchedMeasurement {
+    /// Total host cycles at the nominal clock.
+    #[must_use]
+    pub fn cycles(&self) -> f64 {
+        self.elapsed.as_secs_f64() * self.clock_hz
+    }
+
+    /// Cycles per kernel invocation.
+    #[must_use]
+    pub fn cycles_per_call(&self) -> f64 {
+        self.cycles() / (self.batches * self.batch_size).max(1) as f64
+    }
+
+    /// Cycles per batch of `batch_size` invocations.
+    #[must_use]
+    pub fn cycles_per_batch(&self) -> f64 {
+        self.cycles() / self.batches.max(1) as f64
+    }
+
+    /// The measurement viewed per-call, for the same downstream
+    /// arithmetic (`Cb`, [`KernelCost`]) as [`Harness::measure`].
+    #[must_use]
+    pub fn per_call(&self) -> KernelMeasurement {
+        KernelMeasurement {
+            bytes_processed: self.bytes_processed,
+            invocations: self.batches * self.batch_size,
+            elapsed: self.elapsed,
             clock_hz: self.clock_hz,
         }
     }
@@ -184,6 +267,37 @@ mod tests {
         assert_eq!(m.bytes_processed, 50 * 4096);
         assert!(m.elapsed > Duration::ZERO);
         assert!(m.cycles_per_byte().get() > 0.0);
+    }
+
+    #[test]
+    fn batched_measurement_arithmetic() {
+        let h = Harness::new(2.0e9);
+        let data = vec![0x5Au8; 512];
+        let m = h.measure_batched(4, 25, 512, || crate::hash::fnv1a_64(&data));
+        assert_eq!(m.batches, 4);
+        assert_eq!(m.batch_size, 25);
+        assert_eq!(m.bytes_processed, 4 * 25 * 512);
+        assert!(m.elapsed > Duration::ZERO);
+        // Per-batch cost is batch_size × per-call cost, by construction.
+        assert!((m.cycles_per_batch() - 25.0 * m.cycles_per_call()).abs() < 1e-6);
+        // The per-call view feeds the same downstream arithmetic.
+        let per_call = m.per_call();
+        assert_eq!(per_call.invocations, 100);
+        assert_eq!(per_call.bytes_processed, m.bytes_processed);
+        assert!(per_call.cycles_per_byte().get() > 0.0);
+    }
+
+    #[test]
+    fn batched_zero_guards() {
+        let m = BatchedMeasurement {
+            batches: 0,
+            batch_size: 0,
+            bytes_processed: 0,
+            elapsed: Duration::from_nanos(10),
+            clock_hz: 1.0e9,
+        };
+        assert!(m.cycles_per_call().is_finite());
+        assert!(m.cycles_per_batch().is_finite());
     }
 
     #[test]

@@ -24,68 +24,231 @@ const H0: [u32; 8] = [
     0x5be0cd19,
 ];
 
-/// Computes the SHA-256 digest of `data`.
+/// One round of the compression function. The caller rotates the
+/// working-variable names instead of shuffling their values, so eight
+/// invocations cover a full a→h rotation with zero register moves.
+macro_rules! round {
+    ($a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $f:ident, $g:ident, $h:ident, $wk:expr) => {
+        let s1 = $e.rotate_right(6) ^ $e.rotate_right(11) ^ $e.rotate_right(25);
+        // ch(e,f,g) = (e & f) ^ (!e & g), rewritten to drop the NOT.
+        let ch = $g ^ ($e & ($f ^ $g));
+        // Balanced add tree: h + wk has no dependency on this round's
+        // working variables, so it issues while s1/ch are still in
+        // flight — one cycle off the serial e-chain versus the naive
+        // left-to-right chain. Wrapping u32 addition is associative, so
+        // the value is unchanged.
+        let temp1 = ($h.wrapping_add($wk)).wrapping_add(s1.wrapping_add(ch));
+        let s0 = $a.rotate_right(2) ^ $a.rotate_right(13) ^ $a.rotate_right(22);
+        // maj(a,b,c) = (a & b) ^ (a & c) ^ (b & c), one AND instead of
+        // three: any bit where a and b agree wins, else c decides.
+        let maj = $c ^ (($a ^ $c) & ($b ^ $c));
+        $d = $d.wrapping_add(temp1);
+        $h = temp1.wrapping_add(s0.wrapping_add(maj));
+    };
+}
+
+/// A round at index `$t ≥ 16` that also advances the 16-word rolling
+/// message schedule. The schedule recurrence has no dependency on the
+/// working variables, so its σ₀/σ₁ arithmetic fills the issue slots the
+/// serial a–h chain leaves idle — the structure fast assembly
+/// implementations use, expressed in safe Rust.
+macro_rules! round_sched {
+    ($a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $f:ident, $g:ident, $h:ident,
+     $w:ident, $t:expr) => {
+        let w15 = $w[($t + 1) & 15];
+        let s0 = w15.rotate_right(7) ^ w15.rotate_right(18) ^ (w15 >> 3);
+        let w2 = $w[($t + 14) & 15];
+        let s1 = w2.rotate_right(17) ^ w2.rotate_right(19) ^ (w2 >> 10);
+        let w = $w[$t & 15]
+            .wrapping_add(s0)
+            .wrapping_add($w[($t + 9) & 15])
+            .wrapping_add(s1);
+        $w[$t & 15] = w;
+        round!($a, $b, $c, $d, $e, $f, $g, $h, w.wrapping_add(K[$t]));
+    };
+}
+
+/// As [`round_sched!`], but without storing the schedule word back —
+/// for rounds 62–63, where nothing reads it again (word `t` is next
+/// read at round `t + 2`).
+macro_rules! round_sched_last {
+    ($a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $f:ident, $g:ident, $h:ident,
+     $w:ident, $t:expr) => {
+        let w15 = $w[($t + 1) & 15];
+        let s0 = w15.rotate_right(7) ^ w15.rotate_right(18) ^ (w15 >> 3);
+        let w2 = $w[($t + 14) & 15];
+        let s1 = w2.rotate_right(17) ^ w2.rotate_right(19) ^ (w2 >> 10);
+        let w = $w[$t & 15]
+            .wrapping_add(s0)
+            .wrapping_add($w[($t + 9) & 15])
+            .wrapping_add(s1);
+        round!($a, $b, $c, $d, $e, $f, $g, $h, w.wrapping_add(K[$t]));
+    };
+}
+
+/// Eight name-rotated rounds starting at `$t` (a multiple of 8), either
+/// plain (`$kind = first16`, schedule words come straight from the
+/// block) or schedule-advancing (`$kind = sched`).
+macro_rules! rounds8 {
+    (first16, $a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $f:ident, $g:ident, $h:ident,
+     $w:ident, $t:expr) => {
+        round!($a, $b, $c, $d, $e, $f, $g, $h, $w[$t].wrapping_add(K[$t]));
+        round!($h, $a, $b, $c, $d, $e, $f, $g, $w[$t + 1].wrapping_add(K[$t + 1]));
+        round!($g, $h, $a, $b, $c, $d, $e, $f, $w[$t + 2].wrapping_add(K[$t + 2]));
+        round!($f, $g, $h, $a, $b, $c, $d, $e, $w[$t + 3].wrapping_add(K[$t + 3]));
+        round!($e, $f, $g, $h, $a, $b, $c, $d, $w[$t + 4].wrapping_add(K[$t + 4]));
+        round!($d, $e, $f, $g, $h, $a, $b, $c, $w[$t + 5].wrapping_add(K[$t + 5]));
+        round!($c, $d, $e, $f, $g, $h, $a, $b, $w[$t + 6].wrapping_add(K[$t + 6]));
+        round!($b, $c, $d, $e, $f, $g, $h, $a, $w[$t + 7].wrapping_add(K[$t + 7]));
+    };
+    (sched, $a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $f:ident, $g:ident, $h:ident,
+     $w:ident, $t:expr) => {
+        round_sched!($a, $b, $c, $d, $e, $f, $g, $h, $w, $t);
+        round_sched!($h, $a, $b, $c, $d, $e, $f, $g, $w, $t + 1);
+        round_sched!($g, $h, $a, $b, $c, $d, $e, $f, $w, $t + 2);
+        round_sched!($f, $g, $h, $a, $b, $c, $d, $e, $w, $t + 3);
+        round_sched!($e, $f, $g, $h, $a, $b, $c, $d, $w, $t + 4);
+        round_sched!($d, $e, $f, $g, $h, $a, $b, $c, $w, $t + 5);
+        round_sched!($c, $d, $e, $f, $g, $h, $a, $b, $w, $t + 6);
+        round_sched!($b, $c, $d, $e, $f, $g, $h, $a, $w, $t + 7);
+    };
+    (sched_last, $a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $f:ident, $g:ident, $h:ident,
+     $w:ident, $t:expr) => {
+        round_sched!($a, $b, $c, $d, $e, $f, $g, $h, $w, $t);
+        round_sched!($h, $a, $b, $c, $d, $e, $f, $g, $w, $t + 1);
+        round_sched!($g, $h, $a, $b, $c, $d, $e, $f, $w, $t + 2);
+        round_sched!($f, $g, $h, $a, $b, $c, $d, $e, $w, $t + 3);
+        round_sched!($e, $f, $g, $h, $a, $b, $c, $d, $w, $t + 4);
+        round_sched!($d, $e, $f, $g, $h, $a, $b, $c, $w, $t + 5);
+        round_sched_last!($c, $d, $e, $f, $g, $h, $a, $b, $w, $t + 6);
+        round_sched_last!($b, $c, $d, $e, $f, $g, $h, $a, $w, $t + 7);
+    };
+}
+
+/// Compresses one 64-byte block into the state (FIPS 180-4 §6.2.2).
+///
+/// Fully unrolled, with a 16-word rolling schedule computed inline with
+/// the rounds instead of a separate 64-entry array pass.
+fn compress_block(state: &mut [u32; 8], block: &[u8; 64]) {
+    let mut w = [0u32; 16];
+    for (wi, word) in w.iter_mut().zip(block.chunks_exact(4)) {
+        *wi = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    rounds8!(first16, a, b, c, d, e, f, g, h, w, 0);
+    rounds8!(first16, a, b, c, d, e, f, g, h, w, 8);
+    rounds8!(sched, a, b, c, d, e, f, g, h, w, 16);
+    rounds8!(sched, a, b, c, d, e, f, g, h, w, 24);
+    rounds8!(sched, a, b, c, d, e, f, g, h, w, 32);
+    rounds8!(sched, a, b, c, d, e, f, g, h, w, 40);
+    rounds8!(sched, a, b, c, d, e, f, g, h, w, 48);
+    rounds8!(sched_last, a, b, c, d, e, f, g, h, w, 56);
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
+}
+
+/// A streaming SHA-256 hasher: feed bytes with [`Sha256::update`],
+/// close with [`Sha256::finalize`].
+///
+/// Holds only the 8-word chaining state, a 64-byte block buffer, and a
+/// length counter — no allocation, no copy of the message. Full blocks
+/// in `update` are compressed straight from the caller's slice; only a
+/// trailing partial block is buffered. The one-shot [`sha256`] is a
+/// thin wrapper, so both paths produce identical digests by
+/// construction (and the streaming-vs-one-shot proptest pins it).
+#[derive(Debug, Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    block: [u8; 64],
+    /// Bytes currently buffered in `block` (always < 64).
+    buffered: usize,
+    /// Total message bytes absorbed so far.
+    total_bytes: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Creates a hasher in the FIPS 180-4 initial state.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            state: H0,
+            block: [0u8; 64],
+            buffered: 0,
+            total_bytes: 0,
+        }
+    }
+
+    /// Absorbs `data` into the hash state.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total_bytes = self.total_bytes.wrapping_add(data.len() as u64);
+        // Top up a partial block first.
+        if self.buffered > 0 {
+            let take = data.len().min(64 - self.buffered);
+            self.block[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            data = &data[take..];
+            if self.buffered < 64 {
+                return;
+            }
+            let block = self.block;
+            compress_block(&mut self.state, &block);
+            self.buffered = 0;
+        }
+        // Full blocks straight from the input, no copy.
+        let mut chunks = data.chunks_exact(64);
+        for chunk in &mut chunks {
+            compress_block(&mut self.state, chunk.try_into().expect("64-byte chunk"));
+        }
+        let tail = chunks.remainder();
+        self.block[..tail.len()].copy_from_slice(tail);
+        self.buffered = tail.len();
+    }
+
+    /// Pads and returns the digest, consuming the hasher.
+    #[must_use]
+    pub fn finalize(mut self) -> [u8; 32] {
+        let bit_len = self.total_bytes.wrapping_mul(8);
+        self.block[self.buffered] = 0x80;
+        if self.buffered + 1 > 56 {
+            // No room for the length: close this block, pad a second.
+            self.block[self.buffered + 1..].fill(0);
+            let block = self.block;
+            compress_block(&mut self.state, &block);
+            self.block = [0u8; 64];
+        } else {
+            self.block[self.buffered + 1..56].fill(0);
+        }
+        self.block[56..].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.block;
+        compress_block(&mut self.state, &block);
+
+        let mut digest = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            digest[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        digest
+    }
+}
+
+/// Computes the SHA-256 digest of `data` in one shot (implemented on
+/// the streaming [`Sha256`]; no allocation, no message copy).
 #[must_use]
 pub fn sha256(data: &[u8]) -> [u8; 32] {
-    // Pad: message || 0x80 || zeros || 64-bit big-endian bit length.
-    let bit_len = (data.len() as u64).wrapping_mul(8);
-    let mut message = data.to_vec();
-    message.push(0x80);
-    while message.len() % 64 != 56 {
-        message.push(0);
-    }
-    message.extend_from_slice(&bit_len.to_be_bytes());
-
-    let mut h = H0;
-    let mut w = [0u32; 64];
-    for chunk in message.chunks_exact(64) {
-        for (i, word) in chunk.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
-        }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
-        }
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = h;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ (!e & g);
-            let temp1 = hh
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let temp2 = s0.wrapping_add(maj);
-            hh = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(temp1);
-            d = c;
-            c = b;
-            b = a;
-            a = temp1.wrapping_add(temp2);
-        }
-        h[0] = h[0].wrapping_add(a);
-        h[1] = h[1].wrapping_add(b);
-        h[2] = h[2].wrapping_add(c);
-        h[3] = h[3].wrapping_add(d);
-        h[4] = h[4].wrapping_add(e);
-        h[5] = h[5].wrapping_add(f);
-        h[6] = h[6].wrapping_add(g);
-        h[7] = h[7].wrapping_add(hh);
-    }
-
-    let mut digest = [0u8; 32];
-    for (i, word) in h.iter().enumerate() {
-        digest[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
-    }
-    digest
+    let mut hasher = Sha256::new();
+    hasher.update(data);
+    hasher.finalize()
 }
 
 /// FNV-1a 64-bit hash: the cheap hash-table hash.
@@ -147,6 +310,24 @@ mod tests {
             hex(&sha256(&data)),
             "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
         );
+    }
+
+    #[test]
+    fn streaming_matches_one_shot_across_split_points() {
+        let data: Vec<u8> = (0..300u32).map(|i| (i * 7 + 3) as u8).collect();
+        let expected = sha256(&data);
+        for split in [0usize, 1, 55, 56, 63, 64, 65, 128, 299, 300] {
+            let mut hasher = Sha256::new();
+            hasher.update(&data[..split]);
+            hasher.update(&data[split..]);
+            assert_eq!(hasher.finalize(), expected, "split {split}");
+        }
+        // Byte-at-a-time streaming.
+        let mut hasher = Sha256::new();
+        for byte in &data {
+            hasher.update(std::slice::from_ref(byte));
+        }
+        assert_eq!(hasher.finalize(), expected);
     }
 
     #[test]

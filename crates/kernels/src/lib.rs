@@ -48,6 +48,8 @@ pub use alloc::{AllocStats, Allocation, SizeClassAllocator};
 pub use codec::KvMessage;
 pub use kvstore::{KvStats, KvStore};
 pub use pipeline::{RpcPipeline, Stage};
-pub use harness::{acceleration_factor, Harness, KernelMeasurement};
+pub use harness::{acceleration_factor, BatchedMeasurement, Harness, KernelMeasurement};
+pub use hash::Sha256;
+pub use lz::LzScratch;
 pub use memops::{MemOp, OpCounter};
-pub use mlp::{Activation, Layer, Mlp, MlpError};
+pub use mlp::{Activation, Layer, Mlp, MlpError, MlpScratch, WeightLayout};

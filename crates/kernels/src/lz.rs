@@ -54,8 +54,12 @@ const MAX_MATCH: usize = 255;
 const MAX_LITERAL_RUN: usize = 255;
 const HASH_BITS: u32 = 15;
 
+#[inline]
 fn hash4(data: &[u8]) -> usize {
-    let v = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+    // A single 4-byte slice keeps this one bounds check and one 32-bit
+    // load; indexing the four bytes separately leaves a check per byte,
+    // which blocks load merging in the match-skip insertion loop.
+    let v = u32::from_le_bytes(data[..4].try_into().expect("4-byte slice"));
     (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
 }
 
@@ -94,12 +98,154 @@ fn match_length(input: &[u8], candidate: usize, pos: usize, max_len: usize) -> u
     len
 }
 
+/// Reusable compressor state: the hash-chain head table, stamped with a
+/// generation counter so reuse needs no 256 KiB table refill.
+///
+/// A slot is live only if its stamp matches the current generation, so
+/// bumping the generation in [`compress_into`] invalidates the whole
+/// table in O(1) — each call sees exactly the fresh-table semantics of
+/// the allocating [`compress`], and the emitted token stream is
+/// byte-identical (the `lz_golden` fixture pins it).
+#[derive(Debug, Clone)]
+pub struct LzScratch {
+    /// Packed slots: generation stamp in the high 32 bits, position in
+    /// the low 32. One cache line per probe — splitting the stamp into
+    /// a side table would double the random-access traffic. Positions
+    /// past 4 GiB wrap, which only costs missed matches: every candidate
+    /// is byte-verified and window-checked before a token is emitted.
+    head: Vec<u64>,
+    generation: u32,
+}
+
+impl Default for LzScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LzScratch {
+    /// Creates an empty scratch. The table is lazily zero-paged; no
+    /// eager 256 KiB fill.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            head: vec![0; 1 << HASH_BITS],
+            generation: 0,
+        }
+    }
+
+    /// Starts a new compression: invalidates every slot in O(1) and
+    /// returns the generation tag for the new call (the stamp,
+    /// pre-shifted into the high 32 bits).
+    ///
+    /// Generation 0 is never active (the first `begin` yields 1), so
+    /// the zero-initialized table starts fully invalid.
+    fn begin(&mut self) -> u64 {
+        self.generation = match self.generation.checked_add(1) {
+            Some(g) => g,
+            None => {
+                // Stamp wrap: stale stamps could collide, so refill once
+                // every 2^32 calls.
+                self.head.fill(0);
+                1
+            }
+        };
+        u64::from(self.generation) << 32
+    }
+}
+
+const SLOT_TAG_MASK: u64 = 0xffff_ffff_0000_0000;
+
+/// Head-table strategy for [`compress_core`]. The one-shot path uses a
+/// plain position table (`usize::MAX` = empty slot); the reusable
+/// scratch path a generation-tagged table. Generic rather than unified
+/// so each monomorphization keeps its probe at one load and its insert
+/// at one store — the tag check is not free, and the one-shot bench
+/// must not pay for the scratch path's O(1) reset.
+trait HeadTable {
+    /// Returns the previous position recorded for hash `h`
+    /// (`usize::MAX` if none) and records `pos` as the new head.
+    fn swap(&mut self, h: usize, pos: usize) -> usize;
+    /// Records `pos` as the head for hash `h`.
+    fn insert(&mut self, h: usize, pos: usize);
+}
+
+/// Fresh per-call table: the position itself, `usize::MAX` when empty.
+/// The fixed-size array reference keeps every `HASH_BITS`-bit index
+/// provably in bounds.
+struct FreshHead<'a>(&'a mut [usize; 1 << HASH_BITS]);
+
+impl HeadTable for FreshHead<'_> {
+    #[inline]
+    fn swap(&mut self, h: usize, pos: usize) -> usize {
+        let candidate = self.0[h];
+        self.0[h] = pos;
+        candidate
+    }
+
+    #[inline]
+    fn insert(&mut self, h: usize, pos: usize) {
+        self.0[h] = pos;
+    }
+}
+
+/// Generation-tagged view over an [`LzScratch`] table (tag pre-shifted
+/// into the high 32 bits; see [`LzScratch`]).
+struct TaggedHead<'a> {
+    head: &'a mut [u64; 1 << HASH_BITS],
+    tag: u64,
+}
+
+impl HeadTable for TaggedHead<'_> {
+    #[inline]
+    fn swap(&mut self, h: usize, pos: usize) -> usize {
+        let slot = self.head[h];
+        self.head[h] = self.tag | pos as u64;
+        if slot & SLOT_TAG_MASK == self.tag {
+            slot as u32 as usize
+        } else {
+            usize::MAX
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, h: usize, pos: usize) {
+        self.head[h] = self.tag | pos as u64;
+    }
+}
+
 /// Compresses `input`, returning the token stream.
 #[must_use]
 pub fn compress(input: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(input.len() / 2 + 16);
-    // Head of the hash chain: most recent position with this 4-byte hash.
     let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let head: &mut [usize; 1 << HASH_BITS] = (&mut head[..])
+        .try_into()
+        .expect("table has 1 << HASH_BITS slots");
+    compress_core(input, &mut FreshHead(head), &mut out);
+    out
+}
+
+/// Compresses `input` into `out` (cleared first) using a reusable
+/// [`LzScratch`] — the allocation-free path for a request loop that
+/// compresses many payloads. The token stream is byte-identical to
+/// [`compress`]'s: both run [`compress_core`] over an initially-empty
+/// head table.
+pub fn compress_into(input: &[u8], scratch: &mut LzScratch, out: &mut Vec<u8>) {
+    out.clear();
+    let tag = scratch.begin();
+    // Fixed-size view: `hash4` yields `HASH_BITS`-bit indices, so with
+    // the length in the type every table access is provably in bounds.
+    let head: &mut [u64; 1 << HASH_BITS] = (&mut scratch.head[..])
+        .try_into()
+        .expect("table has 1 << HASH_BITS slots");
+    compress_core(input, &mut TaggedHead { head, tag }, out);
+}
+
+/// The greedy matcher shared by [`compress`] and [`compress_into`]:
+/// everything except the head-table representation, so the two public
+/// entry points cannot drift apart.
+fn compress_core<T: HeadTable>(input: &[u8], head: &mut T, out: &mut Vec<u8>) {
     let mut literal_start = 0usize;
     let mut pos = 0usize;
 
@@ -107,8 +253,7 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
         let mut start = from;
         while start < to {
             let run = (to - start).min(MAX_LITERAL_RUN);
-            out.push(0x00);
-            out.push(run as u8);
+            out.extend_from_slice(&[0x00, run as u8]);
             out.extend_from_slice(&input[start..start + run]);
             start += run;
         }
@@ -119,8 +264,7 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
         let mut matched = None;
         if remaining >= MIN_MATCH {
             let h = hash4(&input[pos..]);
-            let candidate = head[h];
-            head[h] = pos;
+            let candidate = head.swap(h, pos);
             if candidate != usize::MAX && pos - candidate < WINDOW {
                 let max_len = remaining.min(MAX_MATCH);
                 let len = match_length(input, candidate, pos, max_len);
@@ -130,17 +274,15 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
             }
         }
         if let Some((distance, len)) = matched {
-            flush_literals(&mut out, literal_start, pos);
-            out.push(0x01);
-            out.push(len as u8);
-            out.push((distance >> 8) as u8);
-            out.push((distance & 0xff) as u8);
+            flush_literals(out, literal_start, pos);
+            // One extend = one capacity check for the whole token.
+            out.extend_from_slice(&[0x01, len as u8, (distance >> 8) as u8, (distance & 0xff) as u8]);
             // Index the skipped positions so later matches can refer to
             // them (cheap partial insertion: every other position).
             let end = pos + len;
             let mut p = pos + 1;
             while p + MIN_MATCH <= input.len() && p < end {
-                head[hash4(&input[p..])] = p;
+                head.insert(hash4(&input[p..]), p);
                 p += 2;
             }
             pos = end;
@@ -149,8 +291,7 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
             pos += 1;
         }
     }
-    flush_literals(&mut out, literal_start, input.len());
-    out
+    flush_literals(out, literal_start, input.len());
 }
 
 /// Decompresses a token stream produced by [`compress`].
@@ -161,6 +302,20 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
 /// invalid tokens; a valid stream from [`compress`] always round-trips.
 pub fn decompress(compressed: &[u8]) -> Result<Vec<u8>, DecompressError> {
     let mut out = Vec::with_capacity(compressed.len() * 2);
+    decompress_into(compressed, &mut out)?;
+    Ok(out)
+}
+
+/// Decompresses a token stream into `out` (cleared first), reusing the
+/// buffer's capacity — the allocation-free counterpart of
+/// [`decompress`].
+///
+/// # Errors
+///
+/// Returns a [`DecompressError`] if the stream is truncated or contains
+/// invalid tokens. `out` holds the bytes decoded before the error.
+pub fn decompress_into(compressed: &[u8], out: &mut Vec<u8>) -> Result<(), DecompressError> {
+    out.clear();
     let mut pos = 0usize;
     while pos < compressed.len() {
         let tag = compressed[pos];
@@ -204,7 +359,7 @@ pub fn decompress(compressed: &[u8]) -> Result<Vec<u8>, DecompressError> {
             other => return Err(DecompressError::BadTag(other)),
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Compression ratio achieved on an input (compressed/original; lower is
@@ -321,5 +476,42 @@ mod tests {
     #[test]
     fn empty_input_ratio_is_one() {
         assert_eq!(compression_ratio(b""), 1.0);
+    }
+
+    #[test]
+    fn scratch_reuse_is_byte_identical_to_fresh() {
+        // Interleave dissimilar inputs through one scratch: stale table
+        // entries from earlier calls must never leak into a later stream.
+        let inputs: Vec<Vec<u8>> = vec![
+            b"abcdefgh".repeat(200),
+            (0u32..4096).map(|i| (i.wrapping_mul(2_654_435_761) >> 24) as u8).collect(),
+            vec![b'a'; 1000],
+            b"the quick brown fox ".repeat(64),
+            Vec::new(),
+            b"abcdefgh".repeat(200),
+        ];
+        let mut scratch = LzScratch::new();
+        let mut out = Vec::new();
+        let mut back = Vec::new();
+        for input in &inputs {
+            compress_into(input, &mut scratch, &mut out);
+            assert_eq!(out, compress(input), "scratch stream diverged");
+            decompress_into(&out, &mut back).expect("round trip");
+            assert_eq!(&back, input);
+        }
+    }
+
+    #[test]
+    fn scratch_survives_stamp_wrap() {
+        let mut scratch = LzScratch::new();
+        scratch.generation = u32::MAX;
+        let data = b"wrap wrap wrap wrap wrap wrap".repeat(8);
+        let mut out = Vec::new();
+        compress_into(&data, &mut scratch, &mut out);
+        assert_eq!(scratch.generation, 1);
+        assert_eq!(out, compress(&data));
+        // And the next call still matches.
+        compress_into(&data, &mut scratch, &mut out);
+        assert_eq!(out, compress(&data));
     }
 }

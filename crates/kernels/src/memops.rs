@@ -6,8 +6,6 @@
 //! them (Fig. 4); [`OpCounter`] reproduces that attribution with a tag
 //! per operation.
 
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
 
 /// The memory operations tracked.
@@ -25,9 +23,16 @@ pub enum MemOp {
 }
 
 /// Per-operation, per-tag byte and invocation counters.
+///
+/// Backed by a flat `(op, tag, invocations, bytes)` table scanned
+/// linearly: the tag population is the handful of copy origins of
+/// Fig. 4, so a scan over a few entries beats hashing the tag (and the
+/// per-record `String` allocation a map keyed by owned tags would
+/// need). Neither [`OpCounter::get`] nor a repeat `record` allocates; a
+/// tag's `String` is built once, on its first record.
 #[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OpCounter {
-    counts: HashMap<(MemOp, String), (u64, u64)>,
+    counts: Vec<(MemOp, String, u64, u64)>,
 }
 
 impl OpCounter {
@@ -38,18 +43,23 @@ impl OpCounter {
     }
 
     fn record(&mut self, op: MemOp, tag: &str, bytes: usize) {
-        let entry = self.counts.entry((op, tag.to_owned())).or_insert((0, 0));
-        entry.0 += 1;
-        entry.1 += bytes as u64;
+        for (o, t, invocations, total) in &mut self.counts {
+            if *o == op && t == tag {
+                *invocations += 1;
+                *total += bytes as u64;
+                return;
+            }
+        }
+        self.counts.push((op, tag.to_owned(), 1, bytes as u64));
     }
 
     /// `(invocations, bytes)` for an operation+tag pair.
     #[must_use]
     pub fn get(&self, op: MemOp, tag: &str) -> (u64, u64) {
         self.counts
-            .get(&(op, tag.to_owned()))
-            .copied()
-            .unwrap_or((0, 0))
+            .iter()
+            .find(|(o, t, _, _)| *o == op && t == tag)
+            .map_or((0, 0), |(_, _, invocations, bytes)| (*invocations, *bytes))
     }
 
     /// Total `(invocations, bytes)` for an operation across all tags.
@@ -57,8 +67,8 @@ impl OpCounter {
     pub fn total(&self, op: MemOp) -> (u64, u64) {
         self.counts
             .iter()
-            .filter(|((o, _), _)| *o == op)
-            .fold((0, 0), |(i, b), (_, (di, db))| (i + di, b + db))
+            .filter(|(o, _, _, _)| *o == op)
+            .fold((0, 0), |(i, b), (_, _, di, db)| (i + di, b + db))
     }
 
     /// Fraction of an operation's bytes attributed to each tag — the
@@ -72,8 +82,8 @@ impl OpCounter {
         let mut shares: Vec<(String, f64)> = self
             .counts
             .iter()
-            .filter(|((o, _), _)| *o == op)
-            .map(|((_, tag), (_, bytes))| (tag.clone(), *bytes as f64 / total_bytes as f64))
+            .filter(|(o, _, _, _)| *o == op)
+            .map(|(_, tag, _, bytes)| (tag.clone(), *bytes as f64 / total_bytes as f64))
             .collect();
         shares.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("shares are finite"));
         shares

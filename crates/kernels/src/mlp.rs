@@ -90,15 +90,34 @@ impl Activation {
     }
 }
 
-/// One dense layer: `outputs = act(W·inputs + b)` with row-major `W`.
+/// How a layer's weight matrix is stored.
+///
+/// Both layouts traverse each output's multiply-accumulate chain in
+/// ascending input order, so the computed values are bit-identical; the
+/// layout only changes the memory-access pattern.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum WeightLayout {
+    /// `weights[o * inputs + i]`: one contiguous row per output neuron.
+    #[default]
+    RowMajor,
+    /// `weights[i * outputs + o]`: one contiguous column per input
+    /// feature. Sequential access when traversing input-outer, which is
+    /// cache-friendlier for wide layers at batch size 1.
+    Transposed,
+}
+
+/// One dense layer: `outputs = act(W·inputs + b)`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Layer {
     inputs: usize,
     outputs: usize,
-    /// Row-major weights: `weights[o * inputs + i]`.
+    /// Weights in the order [`WeightLayout`] describes.
     weights: Vec<f32>,
     biases: Vec<f32>,
     activation: Activation,
+    #[serde(default)]
+    layout: WeightLayout,
 }
 
 impl Layer {
@@ -128,7 +147,38 @@ impl Layer {
             weights,
             biases,
             activation,
+            layout: WeightLayout::RowMajor,
         })
+    }
+
+    /// Converts the layer to the given weight layout (no-op if already
+    /// there). Outputs are unchanged bit for bit — only the traversal
+    /// order of memory changes.
+    #[must_use]
+    pub fn with_layout(mut self, layout: WeightLayout) -> Self {
+        if self.layout == layout {
+            return self;
+        }
+        let mut converted = vec![0.0f32; self.weights.len()];
+        for o in 0..self.outputs {
+            for i in 0..self.inputs {
+                let (row_major, transposed) = (o * self.inputs + i, i * self.outputs + o);
+                let (from, to) = match layout {
+                    WeightLayout::Transposed => (row_major, transposed),
+                    WeightLayout::RowMajor => (transposed, row_major),
+                };
+                converted[to] = self.weights[from];
+            }
+        }
+        self.weights = converted;
+        self.layout = layout;
+        self
+    }
+
+    /// The layer's weight storage layout.
+    #[must_use]
+    pub fn layout(&self) -> WeightLayout {
+        self.layout
     }
 
     /// Deterministic pseudo-random layer for benchmarks and tests
@@ -150,19 +200,130 @@ impl Layer {
             weights,
             biases,
             activation,
+            layout: WeightLayout::RowMajor,
         }
     }
 
+    /// Forward pass for one input. `output` is cleared and refilled.
+    ///
+    /// Per output neuron the accumulation runs `bias + Σ wᵢ·xᵢ` in
+    /// ascending `i`, identically under both layouts.
     fn forward(&self, input: &[f32], output: &mut Vec<f32>) {
         output.clear();
-        for o in 0..self.outputs {
-            let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
-            let mut acc = self.biases[o];
-            for (w, x) in row.iter().zip(input) {
-                acc += w * x;
+        match self.layout {
+            WeightLayout::RowMajor => {
+                for o in 0..self.outputs {
+                    let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
+                    let mut acc = self.biases[o];
+                    for (w, x) in row.iter().zip(input) {
+                        acc += w * x;
+                    }
+                    output.push(self.activation.apply(acc));
+                }
             }
-            output.push(self.activation.apply(acc));
+            WeightLayout::Transposed => {
+                output.extend_from_slice(&self.biases);
+                for (i, &x) in input.iter().enumerate() {
+                    let col = &self.weights[i * self.outputs..(i + 1) * self.outputs];
+                    for (acc, w) in output.iter_mut().zip(col) {
+                        *acc += w * x;
+                    }
+                }
+                for acc in output.iter_mut() {
+                    *acc = self.activation.apply(*acc);
+                }
+            }
         }
+    }
+
+    /// Forward pass for a feature-major batch: `input[i * batch_len + b]`
+    /// holds input feature `i` of batch element `b`, and the output is
+    /// written the same way (`output[o * batch_len + b]`). `output` is
+    /// cleared and refilled.
+    ///
+    /// Feature-major layout puts the B independent accumulation chains
+    /// for one output neuron contiguously, so the inner loop runs across
+    /// the batch in 8-wide chunks — independent chains the CPU can
+    /// pipeline (and pack into SIMD lanes) instead of stalling on one
+    /// serial f32 add chain. Per (input, output) pair the accumulation
+    /// order is exactly [`Layer::forward`]'s — `bias + Σ wᵢ·xᵢ` in
+    /// ascending `i` — so batch outputs are bit-identical to
+    /// `batch_len` scalar passes.
+    fn forward_batch(&self, input: &[f32], batch_len: usize, output: &mut Vec<f32>) {
+        debug_assert_eq!(input.len(), batch_len * self.inputs);
+        output.clear();
+        if batch_len == 0 {
+            return;
+        }
+        output.resize(batch_len * self.outputs, 0.0);
+        match self.layout {
+            WeightLayout::RowMajor => {
+                for o in 0..self.outputs {
+                    let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
+                    let bias = self.biases[o];
+                    let yrow = &mut output[o * batch_len..(o + 1) * batch_len];
+                    let mut b0 = 0;
+                    while b0 + 8 <= batch_len {
+                        let mut acc = [bias; 8];
+                        for (&w, xrow) in row.iter().zip(input.chunks_exact(batch_len)) {
+                            let x: &[f32; 8] =
+                                xrow[b0..b0 + 8].try_into().expect("8-wide chunk");
+                            for (a, &x) in acc.iter_mut().zip(x) {
+                                *a += w * x;
+                            }
+                        }
+                        for (y, a) in yrow[b0..b0 + 8].iter_mut().zip(acc) {
+                            *y = self.activation.apply(a);
+                        }
+                        b0 += 8;
+                    }
+                    for b in b0..batch_len {
+                        let mut acc = bias;
+                        for (&w, xrow) in row.iter().zip(input.chunks_exact(batch_len)) {
+                            acc += w * xrow[b];
+                        }
+                        yrow[b] = self.activation.apply(acc);
+                    }
+                }
+            }
+            WeightLayout::Transposed => {
+                for (o, &bias) in self.biases.iter().enumerate() {
+                    output[o * batch_len..(o + 1) * batch_len].fill(bias);
+                }
+                for (col, xrow) in self
+                    .weights
+                    .chunks_exact(self.outputs)
+                    .zip(input.chunks_exact(batch_len))
+                {
+                    for (&w, yrow) in col.iter().zip(output.chunks_exact_mut(batch_len)) {
+                        for (y, &x) in yrow.iter_mut().zip(xrow) {
+                            *y += w * x;
+                        }
+                    }
+                }
+                for y in output.iter_mut() {
+                    *y = self.activation.apply(*y);
+                }
+            }
+        }
+    }
+}
+
+/// Reusable ping-pong activation buffers for allocation-free inference.
+///
+/// One scratch serves any network and any batch size; buffers grow to
+/// the high-water mark and are reused thereafter.
+#[derive(Debug, Default, Clone)]
+pub struct MlpScratch {
+    current: Vec<f32>,
+    next: Vec<f32>,
+}
+
+impl MlpScratch {
+    /// Creates an empty scratch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -239,6 +400,19 @@ impl Mlp {
         self.layers.iter().map(|l| l.inputs * l.outputs).sum()
     }
 
+    /// Converts every layer to the given weight layout. Outputs are
+    /// unchanged bit for bit; only memory traversal changes.
+    #[must_use]
+    pub fn with_layout(self, layout: WeightLayout) -> Self {
+        Self {
+            layers: self
+                .layers
+                .into_iter()
+                .map(|l| l.with_layout(layout))
+                .collect(),
+        }
+    }
+
     /// Runs inference on one feature vector.
     ///
     /// # Errors
@@ -246,30 +420,113 @@ impl Mlp {
     /// Returns [`MlpError::InputMismatch`] if the feature vector's length
     /// differs from [`Mlp::input_width`].
     pub fn infer(&self, features: &[f32]) -> Result<Vec<f32>, MlpError> {
+        let mut scratch = MlpScratch::new();
+        let mut out = Vec::new();
+        self.infer_into(features, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Mlp::infer`] without the per-call allocations: activations live
+    /// in `scratch`, the result lands in `out` (cleared first). Reusing
+    /// the scratch across calls makes the hot path allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlpError::InputMismatch`] if the feature vector's length
+    /// differs from [`Mlp::input_width`].
+    pub fn infer_into(
+        &self,
+        features: &[f32],
+        scratch: &mut MlpScratch,
+        out: &mut Vec<f32>,
+    ) -> Result<(), MlpError> {
         if features.len() != self.input_width() {
             return Err(MlpError::InputMismatch {
                 expected: self.input_width(),
                 actual: features.len(),
             });
         }
-        let mut current = features.to_vec();
-        let mut next = Vec::new();
+        scratch.current.clear();
+        scratch.current.extend_from_slice(features);
         for layer in &self.layers {
-            layer.forward(&current, &mut next);
-            std::mem::swap(&mut current, &mut next);
+            layer.forward(&scratch.current, &mut scratch.next);
+            std::mem::swap(&mut scratch.current, &mut scratch.next);
         }
-        Ok(current)
+        out.clear();
+        out.extend_from_slice(&scratch.current);
+        Ok(())
+    }
+
+    /// Runs a batch of B feature vectors through reusable scratch
+    /// buffers, writing the flattened outputs (element `o` of batch
+    /// entry `b` at `out[b * output_width + o]`) into `out` (cleared
+    /// first) — the batched execution Ads1 amortizes its offload
+    /// interface cost over (§4, case study 3).
+    ///
+    /// Weight rows are reused across the batch (each layer's matrix is
+    /// streamed once per batch, not once per input), but every input's
+    /// accumulation order is exactly [`Mlp::infer`]'s, so the outputs
+    /// are bit-identical to B scalar calls — the batch-vs-scalar
+    /// proptest pins this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlpError::InputMismatch`] on the first mismatched
+    /// feature vector.
+    pub fn forward_batch(
+        &self,
+        batch: &[Vec<f32>],
+        scratch: &mut MlpScratch,
+        out: &mut Vec<f32>,
+    ) -> Result<(), MlpError> {
+        let width = self.input_width();
+        for features in batch {
+            if features.len() != width {
+                return Err(MlpError::InputMismatch {
+                    expected: width,
+                    actual: features.len(),
+                });
+            }
+        }
+        // Activations travel feature-major (`[i * B + b]`) between
+        // layers — see [`Layer::forward_batch`] — so pack the batch
+        // transposed and un-transpose the final activations.
+        scratch.current.clear();
+        scratch.current.resize(batch.len() * width, 0.0);
+        for (b, features) in batch.iter().enumerate() {
+            for (i, &x) in features.iter().enumerate() {
+                scratch.current[i * batch.len() + b] = x;
+            }
+        }
+        for layer in &self.layers {
+            layer.forward_batch(&scratch.current, batch.len(), &mut scratch.next);
+            std::mem::swap(&mut scratch.current, &mut scratch.next);
+        }
+        let out_width = self.output_width();
+        out.clear();
+        out.resize(batch.len() * out_width, 0.0);
+        for o in 0..out_width {
+            for b in 0..batch.len() {
+                out[b * out_width + o] = scratch.current[o * batch.len() + b];
+            }
+        }
+        Ok(())
     }
 
     /// Runs inference on a batch, the way Ads1 batches offloads (§4,
-    /// case study 3).
+    /// case study 3). Implemented on [`Mlp::forward_batch`], so the
+    /// per-input results are bit-identical to scalar [`Mlp::infer`].
     ///
     /// # Errors
     ///
     /// Returns [`MlpError::InputMismatch`] on the first mismatched
     /// feature vector.
     pub fn infer_batch(&self, batch: &[Vec<f32>]) -> Result<Vec<Vec<f32>>, MlpError> {
-        batch.iter().map(|f| self.infer(f)).collect()
+        let mut scratch = MlpScratch::new();
+        let mut flat = Vec::new();
+        self.forward_batch(batch, &mut scratch, &mut flat)?;
+        let width = self.output_width();
+        Ok(flat.chunks_exact(width).map(<[f32]>::to_vec).collect())
     }
 }
 
@@ -359,6 +616,75 @@ mod tests {
         for (f, o) in batch.iter().zip(&outs) {
             assert_eq!(mlp.infer(f).unwrap(), *o);
         }
+    }
+
+    #[test]
+    fn forward_batch_bit_identical_to_scalar_in_both_layouts() {
+        let mlp = Mlp::seeded_ranker(&[32, 16, 4], 23);
+        let batch: Vec<Vec<f32>> = (0..7)
+            .map(|i| (0..32).map(|j| ((i * 31 + j * 7) % 100) as f32 / 50.0 - 1.0).collect())
+            .collect();
+        for mlp in [mlp.clone(), mlp.with_layout(WeightLayout::Transposed)] {
+            let mut scratch = MlpScratch::new();
+            let mut flat = Vec::new();
+            mlp.forward_batch(&batch, &mut scratch, &mut flat).unwrap();
+            assert_eq!(flat.len(), batch.len() * mlp.output_width());
+            for (b, features) in batch.iter().enumerate() {
+                let scalar = mlp.infer(features).unwrap();
+                let from_batch = &flat[b * 4..(b + 1) * 4];
+                // Bitwise, not approximate.
+                assert_eq!(
+                    scalar.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    from_batch.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn layout_conversion_round_trips_and_preserves_outputs() {
+        let mlp = Mlp::seeded_ranker(&[16, 8, 2], 5);
+        let features: Vec<f32> = (0..16).map(|i| (i as f32 - 8.0) / 4.0).collect();
+        let expected = mlp.infer(&features).unwrap();
+        let transposed = mlp.clone().with_layout(WeightLayout::Transposed);
+        assert_eq!(transposed.layers[0].layout(), WeightLayout::Transposed);
+        let got = transposed.infer(&features).unwrap();
+        assert_eq!(
+            expected.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            got.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        );
+        let back = transposed.with_layout(WeightLayout::RowMajor);
+        assert_eq!(back, mlp);
+    }
+
+    #[test]
+    fn infer_into_reuses_scratch() {
+        let mlp = Mlp::seeded_ranker(&[8, 4, 1], 9);
+        let mut scratch = MlpScratch::new();
+        let mut out = Vec::new();
+        for i in 0..3 {
+            let features: Vec<f32> = (0..8).map(|j| (i * 8 + j) as f32 / 24.0).collect();
+            mlp.infer_into(&features, &mut scratch, &mut out).unwrap();
+            assert_eq!(out, mlp.infer(&features).unwrap());
+        }
+    }
+
+    #[test]
+    fn forward_batch_rejects_ragged_input() {
+        let mlp = Mlp::seeded_ranker(&[8, 1], 2);
+        let batch = vec![vec![0.0f32; 8], vec![0.0f32; 7]];
+        let mut scratch = MlpScratch::new();
+        let mut out = Vec::new();
+        assert!(matches!(
+            mlp.forward_batch(&batch, &mut scratch, &mut out),
+            Err(MlpError::InputMismatch {
+                expected: 8,
+                actual: 7
+            })
+        ));
+        // Empty batch is fine and produces no outputs.
+        mlp.forward_batch(&[], &mut scratch, &mut out).unwrap();
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! vectors.
 
 use accelerometer_kernels::codec::KvMessage;
+use accelerometer_kernels::mlp::{Mlp, MlpScratch, WeightLayout};
 use accelerometer_kernels::pipeline::RpcPipeline;
 use accelerometer_kernels::{aes, hash, lz, SizeClassAllocator};
 use proptest::prelude::*;
@@ -170,5 +171,100 @@ proptest! {
         let mut receiver = RpcPipeline::new(&key);
         let result = receiver.open(&bytes);
         prop_assert!(result.is_err());
+    }
+
+    /// Streaming SHA-256 equals the one-shot digest for every message
+    /// and every update split — including splits straddling the 64-byte
+    /// block boundary — and so does hashing in three pieces.
+    #[test]
+    fn sha256_streaming_equals_one_shot(
+        data in prop::collection::vec(any::<u8>(), 0..512),
+        split_a in any::<prop::sample::Index>(),
+        split_b in any::<prop::sample::Index>(),
+    ) {
+        let expected = hash::sha256(&data);
+        let (mut lo, mut hi) = (split_a.index(data.len() + 1), split_b.index(data.len() + 1));
+        if lo > hi {
+            std::mem::swap(&mut lo, &mut hi);
+        }
+        let mut two = hash::Sha256::new();
+        two.update(&data[..hi]);
+        two.update(&data[hi..]);
+        prop_assert_eq!(two.finalize(), expected);
+        let mut three = hash::Sha256::new();
+        three.update(&data[..lo]);
+        three.update(&data[lo..hi]);
+        three.update(&data[hi..]);
+        prop_assert_eq!(three.finalize(), expected);
+    }
+
+    /// Batched MLP inference is bit-identical to repeated scalar
+    /// inference, for any batch, under both weight layouts.
+    #[test]
+    fn mlp_forward_batch_equals_scalar(
+        widths in prop::collection::vec(1usize..24, 2..5),
+        batch_len in 0usize..20,
+        seed in any::<u64>(),
+        transpose in any::<bool>(),
+    ) {
+        let mut mlp = Mlp::seeded_ranker(&widths, seed);
+        if transpose {
+            mlp = mlp.with_layout(WeightLayout::Transposed);
+        }
+        let input_width = mlp.input_width();
+        let batch: Vec<Vec<f32>> = (0..batch_len)
+            .map(|b| {
+                (0..input_width)
+                    .map(|i| ((b * 31 + i * 7 + seed as usize) % 113) as f32 / 56.5 - 1.0)
+                    .collect()
+            })
+            .collect();
+        let mut scratch = MlpScratch::new();
+        let mut flat = Vec::new();
+        mlp.forward_batch(&batch, &mut scratch, &mut flat).expect("widths match");
+        let out_width = mlp.output_width();
+        prop_assert_eq!(flat.len(), batch_len * out_width);
+        for (b, features) in batch.iter().enumerate() {
+            let scalar = mlp.infer(features).expect("widths match");
+            let bits_scalar: Vec<u32> = scalar.iter().map(|x| x.to_bits()).collect();
+            let bits_batch: Vec<u32> = flat[b * out_width..(b + 1) * out_width]
+                .iter()
+                .map(|x| x.to_bits())
+                .collect();
+            prop_assert_eq!(&bits_scalar, &bits_batch, "batch element {} diverged", b);
+        }
+    }
+
+    /// `compress_into` with a reused scratch emits the same byte stream
+    /// as the fresh-table `compress`, across arbitrary input sequences.
+    #[test]
+    fn lz_scratch_reuse_equals_fresh(
+        inputs in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..2048), 1..6),
+    ) {
+        let mut scratch = lz::LzScratch::new();
+        let mut out = Vec::new();
+        for input in &inputs {
+            lz::compress_into(input, &mut scratch, &mut out);
+            prop_assert_eq!(&out, &lz::compress(input));
+            let mut back = Vec::new();
+            lz::decompress_into(&out, &mut back).expect("round trip");
+            prop_assert_eq!(&back, input);
+        }
+    }
+
+    /// A warm pipeline's `seal_into` emits frames byte-identical to the
+    /// allocating `seal`, for any message sequence.
+    #[test]
+    fn pipeline_seal_into_equals_seal(
+        messages in prop::collection::vec(kv_message_strategy(), 1..5),
+        key in prop::array::uniform16(any::<u8>()),
+    ) {
+        let mut warm = RpcPipeline::new(&key);
+        let mut fresh = RpcPipeline::new(&key);
+        let mut frame = Vec::new();
+        for message in &messages {
+            warm.seal_into(message, &mut frame);
+            prop_assert_eq!(&frame, &fresh.seal(message));
+        }
     }
 }

@@ -1,0 +1,258 @@
+//! Kernel-cost calibration: measure this host's actual per-byte kernel
+//! costs with the batched harness and feed them into simulator
+//! workloads.
+//!
+//! §4 derives each case study's host cost `α·C` from micro-benchmarks
+//! on production hardware; this module is the reproduction's equivalent
+//! call site. Each case-study kernel (AES-CTR encryption, LZ
+//! compression, SHA-256 hashing, batched MLP inference) is run through
+//! [`Harness::measure_batched`] using its allocation-free scratch-reuse
+//! path, so the measured cycles are the kernel's — not the allocator's
+//! or the timer's. The result plugs straight into a
+//! [`WorkloadSpec`](crate::workload::WorkloadSpec)'s `cycles_per_byte`.
+
+use accelerometer::units::CyclesPerByte;
+use accelerometer::KernelCost;
+use accelerometer_kernels::aes::Aes128;
+use accelerometer_kernels::harness::{BatchedMeasurement, Harness};
+use accelerometer_kernels::hash::Sha256;
+use accelerometer_kernels::lz::{self, LzScratch};
+use accelerometer_kernels::mlp::{Mlp, MlpScratch};
+
+use crate::workload::WorkloadSpec;
+
+/// One calibrated kernel: the measured per-call, per-batch, and
+/// per-byte costs from a batched run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibratedKernel {
+    /// Kernel name (matches the case-study kernel it calibrates).
+    pub name: &'static str,
+    /// Bytes each invocation processed.
+    pub bytes_per_call: u64,
+    /// The raw batched measurement.
+    pub measurement: BatchedMeasurement,
+}
+
+impl CalibratedKernel {
+    /// Measured host cycles per byte (`Cb`).
+    #[must_use]
+    pub fn cycles_per_byte(&self) -> CyclesPerByte {
+        self.measurement.per_call().cycles_per_byte()
+    }
+
+    /// Measured host cycles per kernel invocation (`α·C` for one call).
+    #[must_use]
+    pub fn cycles_per_call(&self) -> f64 {
+        self.measurement.cycles_per_call()
+    }
+
+    /// Measured host cycles per batch — the granularity a batching
+    /// offload (Fig. 14) dispatches at.
+    #[must_use]
+    pub fn cycles_per_batch(&self) -> f64 {
+        self.measurement.cycles_per_batch()
+    }
+
+    /// The measurement as a linear [`KernelCost`] for break-even
+    /// analysis.
+    #[must_use]
+    pub fn kernel_cost(&self) -> KernelCost {
+        self.measurement.per_call().kernel_cost()
+    }
+
+    /// Returns `spec` with its assumed `cycles_per_byte` replaced by
+    /// this kernel's measured value — the calibration call site for a
+    /// simulated case study.
+    #[must_use]
+    pub fn apply_to(&self, mut spec: WorkloadSpec) -> WorkloadSpec {
+        spec.cycles_per_byte = self.cycles_per_byte();
+        spec
+    }
+}
+
+/// Runs the case-study kernels through the batched harness.
+#[derive(Debug, Clone, Copy)]
+pub struct Calibrator {
+    harness: Harness,
+    /// Timer reads per kernel.
+    batches: u64,
+    /// Kernel invocations per timer read.
+    batch_size: u64,
+}
+
+impl Calibrator {
+    /// Creates a calibrator timing at `clock_hz` with the given batch
+    /// shape. Larger `batch_size` amortizes the timer read further;
+    /// larger `batches` averages over more scheduler noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `clock_hz` is positive and finite (see
+    /// [`Harness::new`]).
+    #[must_use]
+    pub fn new(clock_hz: f64, batches: u64, batch_size: u64) -> Self {
+        Self {
+            harness: Harness::new(clock_hz),
+            batches,
+            batch_size,
+        }
+    }
+
+    /// AES-128-CTR over a `payload_bytes` message: the encryption
+    /// kernel of case studies 1 and 2 (AES-NI, PCIe crypto).
+    #[must_use]
+    pub fn encryption(&self, payload_bytes: usize) -> CalibratedKernel {
+        let cipher = Aes128::new(&[0x42u8; 16]);
+        let mut buf = vec![0xA5u8; payload_bytes];
+        let measurement = self.harness.measure_batched(
+            self.batches,
+            self.batch_size,
+            payload_bytes as u64,
+            || cipher.ctr_apply(&[7u8; 16], &mut buf),
+        );
+        CalibratedKernel {
+            name: "encryption",
+            bytes_per_call: payload_bytes as u64,
+            measurement,
+        }
+    }
+
+    /// LZ compression of a mildly compressible `payload_bytes` message
+    /// through the scratch-reuse path: the compression kernel.
+    #[must_use]
+    pub fn compression(&self, payload_bytes: usize) -> CalibratedKernel {
+        let input: Vec<u8> = (0..payload_bytes)
+            .map(|i| match i % 16 {
+                0..=7 => b'a' + (i % 8) as u8,
+                8..=11 => (i / 16 % 251) as u8,
+                _ => 0,
+            })
+            .collect();
+        let mut scratch = LzScratch::new();
+        let mut out = Vec::new();
+        let measurement = self.harness.measure_batched(
+            self.batches,
+            self.batch_size,
+            payload_bytes as u64,
+            || lz::compress_into(&input, &mut scratch, &mut out),
+        );
+        CalibratedKernel {
+            name: "compression",
+            bytes_per_call: payload_bytes as u64,
+            measurement,
+        }
+    }
+
+    /// Streaming SHA-256 over a `payload_bytes` message: the hashing
+    /// kernel (Table 2's SHA family).
+    #[must_use]
+    pub fn hashing(&self, payload_bytes: usize) -> CalibratedKernel {
+        let input = vec![0x5Au8; payload_bytes];
+        let measurement = self.harness.measure_batched(
+            self.batches,
+            self.batch_size,
+            payload_bytes as u64,
+            || {
+                let mut hasher = Sha256::new();
+                hasher.update(&input);
+                hasher.finalize()
+            },
+        );
+        CalibratedKernel {
+            name: "hashing",
+            bytes_per_call: payload_bytes as u64,
+            measurement,
+        }
+    }
+
+    /// Batched MLP inference at batch size `b` on a Feed-shaped ranker:
+    /// the remote-inference kernel of case study 3. One harness
+    /// invocation is one *batch* of `b` inputs (the unit Ads1
+    /// dispatches); bytes are the batch's feature payload.
+    #[must_use]
+    pub fn inference(&self, mlp: &Mlp, b: usize) -> CalibratedKernel {
+        let width = mlp.input_width();
+        let batch: Vec<Vec<f32>> = (0..b)
+            .map(|i| (0..width).map(|j| (i * width + j) as f32 / 8192.0).collect())
+            .collect();
+        let bytes_per_call = (b * width * std::mem::size_of::<f32>()) as u64;
+        let mut scratch = MlpScratch::new();
+        let mut out = Vec::new();
+        let measurement =
+            self.harness
+                .measure_batched(self.batches, self.batch_size, bytes_per_call, || {
+                    mlp.forward_batch(&batch, &mut scratch, &mut out)
+                        .expect("widths match")
+                });
+        CalibratedKernel {
+            name: "inference",
+            bytes_per_call,
+            measurement,
+        }
+    }
+
+    /// Calibrates all three case-study kernel families at representative
+    /// sizes: 4 KiB payloads for encryption and compression, a
+    /// 512×256×64×1 ranker at B=16 for inference.
+    #[must_use]
+    pub fn case_studies(&self) -> Vec<CalibratedKernel> {
+        let mlp = Mlp::seeded_ranker(&[512, 256, 64, 1], 42);
+        vec![
+            self.encryption(4096),
+            self.compression(4096),
+            self.inference(&mlp, 16),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accelerometer::units::bytes;
+
+    fn quick() -> Calibrator {
+        // Tiny batch shape: correctness of the plumbing, not statistics.
+        Calibrator::new(2.0e9, 2, 3)
+    }
+
+    #[test]
+    fn all_case_study_kernels_calibrate() {
+        for k in quick().case_studies() {
+            assert!(k.cycles_per_byte().get() > 0.0, "{}", k.name);
+            assert!(k.cycles_per_call() > 0.0, "{}", k.name);
+            assert!(
+                (k.cycles_per_batch() - 3.0 * k.cycles_per_call()).abs()
+                    < 1e-6 * k.cycles_per_batch(),
+                "{}",
+                k.name
+            );
+            assert_eq!(k.measurement.batches, 2);
+            assert_eq!(k.measurement.batch_size, 3);
+        }
+    }
+
+    #[test]
+    fn hashing_calibration_is_positive() {
+        let k = quick().hashing(2048);
+        assert_eq!(k.bytes_per_call, 2048);
+        assert!(k.cycles_per_byte().get() > 0.0);
+        let cost = k.kernel_cost();
+        assert!(cost.host_cycles(bytes(1024.0)).get() > 0.0);
+    }
+
+    #[test]
+    fn measured_cb_feeds_a_workload() {
+        let k = quick().encryption(1024);
+        let spec = crate::workload::workload_for_params(
+            10_000.0,
+            0.3,
+            1.0,
+            accelerometer::GranularityCdf::from_points(vec![(1024.0, 1.0)]).expect("valid"),
+        );
+        let calibrated = k.apply_to(spec.clone());
+        assert_eq!(calibrated.cycles_per_byte, k.cycles_per_byte());
+        // Only the per-byte cost changes; the shape is untouched.
+        assert_eq!(calibrated.kernels_per_request, spec.kernels_per_request);
+        assert!(calibrated.kernel_host_cycles(1024.0) > 0.0);
+    }
+}

@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 
 pub mod abtest;
+pub mod calibrate;
 pub mod casestudy;
 pub mod device;
 pub mod engine;
@@ -53,6 +54,7 @@ pub mod time;
 pub mod workload;
 
 pub use abtest::{run_ab, AbResult};
+pub use calibrate::{CalibratedKernel, Calibrator};
 pub use casestudy::{simulate, validate_all, validate_all_with, CaseStudyValidation};
 pub use device::{Device, DeviceKind};
 pub use loadsweep::{

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Benchmark regression gate: re-runs the recorded benches and fails if
-# any benchmark's mean regresses more than the tolerance versus the
-# committed BENCH_*.json record.
+# any benchmark's mean — raw, or 10%-trimmed when both sides recorded
+# one — regresses more than the tolerance versus the committed
+# BENCH_*.json record.
 #
 # Usage: scripts/bench_regress.sh
 #
@@ -26,7 +27,7 @@ command -v jq >/dev/null 2>&1 || {
 }
 
 status=0
-for record in BENCH_engine.json BENCH_parallel.json; do
+for record in BENCH_engine.json BENCH_parallel.json BENCH_kernels.json; do
     [ -f "$record" ] || {
         echo "bench_regress: missing record $record" >&2
         status=1
@@ -40,23 +41,33 @@ for record in BENCH_engine.json BENCH_parallel.json; do
         status=1
         continue
     fi
-    # Join committed and fresh means by id, then let awk render the
-    # readable diff and flag regressions beyond tolerance.
-    committed=$(jq -r '.results[] | "BASE\t\(.id)\t\(.mean_ns)"' "$record")
-    fresh=$(printf '%s\n' "$out" | jq -r '"CUR\t\(.id)\t\(.mean_ns)"')
+    # Join committed and fresh results by id, then let awk render the
+    # readable diff and flag regressions beyond tolerance. Both the raw
+    # mean and (when both sides recorded one) the 10%-trimmed mean are
+    # gated: the trimmed mean is the robust number on a noisy shared
+    # host, the raw mean is kept for continuity with older records.
+    # "-" marks a side with no trimmed mean.
+    committed=$(jq -r '.results[] | "BASE\t\(.id)\t\(.mean_ns)\t\(.trimmed_mean_ns // "-")"' "$record")
+    fresh=$(printf '%s\n' "$out" | jq -r '"CUR\t\(.id)\t\(.mean_ns)\t\(.trimmed_mean_ns // "-")"')
     report=$(printf '%s\n%s\n' "$committed" "$fresh" | awk -F'\t' -v tol="$TOLERANCE_PCT" '
-        $1 == "BASE" { base[$2] = $3; order[n++] = $2; next }
-        $1 == "CUR" { cur[$2] = $3 }
+        $1 == "BASE" { base[$2] = $3; base_tr[$2] = $4; order[n++] = $2; next }
+        $1 == "CUR" { cur[$2] = $3; cur_tr[$2] = $4 }
         END {
             fail = 0
-            printf "%-52s %14s %14s %9s\n", "benchmark", "recorded_ns", "current_ns", "delta"
+            printf "%-52s %14s %14s %9s %10s\n", "benchmark", "recorded_ns", "current_ns", "delta", "trim_delta"
             for (i = 0; i < n; i++) {
                 id = order[i]
-                if (!(id in cur)) { printf "%-52s %14.0f %14s %9s  MISSING\n", id, base[id], "-", "-"; fail = 1; continue }
+                if (!(id in cur)) { printf "%-52s %14.0f %14s %9s %10s  MISSING\n", id, base[id], "-", "-", "-"; fail = 1; continue }
                 delta = (cur[id] / base[id] - 1) * 100
                 flag = ""
                 if (delta > tol) { flag = "  REGRESSED"; fail = 1 }
-                printf "%-52s %14.0f %14.0f %+8.1f%%%s\n", id, base[id], cur[id], delta, flag
+                trim_col = "-"
+                if (base_tr[id] != "-" && cur_tr[id] != "-") {
+                    trim_delta = (cur_tr[id] / base_tr[id] - 1) * 100
+                    trim_col = sprintf("%+9.1f%%", trim_delta)
+                    if (trim_delta > tol) { flag = "  REGRESSED(trimmed)"; fail = 1 }
+                }
+                printf "%-52s %14.0f %14.0f %+8.1f%% %10s%s\n", id, base[id], cur[id], delta, trim_col, flag
             }
             exit fail
         }') || status=1

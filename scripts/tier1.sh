@@ -13,8 +13,11 @@ cargo build --workspace --release
 echo "== tests =="
 cargo test --workspace -q
 
-echo "== clippy (deny warnings) =="
-cargo clippy --workspace --all-targets -- -D warnings
+echo "== clippy (deny warnings, release) =="
+# Release profile so lint analysis sees the same cfg/codegen surface the
+# perf-sensitive release builds use (and shares the build cache with the
+# release build above).
+cargo clippy --workspace --all-targets --release -- -D warnings
 
 echo "== --jobs smoke: tables table6 at widths 1 and 2 must match byte-for-byte =="
 out_dir="$(mktemp -d)"

@@ -179,8 +179,11 @@ fn run_one<F: FnMut(&mut Bencher)>(full_id: &str, throughput: Option<Throughput>
         }
     }
     println!("{line}");
+    // Host core count, so a 1-core box's tie results (no parallel
+    // speedup available) are self-explaining in recorded JSON.
+    let cores = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
     println!(
-        "BENCHJSON {{\"id\":\"{full_id}\",\"mean_ns\":{:.1},\"trimmed_mean_ns\":{:.1},\"iters\":{}{extra}}}",
+        "BENCHJSON {{\"id\":\"{full_id}\",\"mean_ns\":{:.1},\"trimmed_mean_ns\":{:.1},\"iters\":{},\"cores\":{cores}{extra}}}",
         bencher.mean_ns, bencher.trimmed_mean_ns, bencher.iters
     );
 }
