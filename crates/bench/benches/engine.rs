@@ -41,6 +41,8 @@ fn base_config() -> SimConfig {
         seed: 20_260_806,
         workload: sweep_workload(),
         offload: None,
+        fault: Default::default(),
+        recovery: Default::default(),
     }
 }
 

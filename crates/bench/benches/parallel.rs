@@ -88,6 +88,8 @@ fn batch() -> Vec<SimConfig> {
                 cycles_per_byte: cycles_per_byte(2.0),
             },
             offload: None,
+            fault: Default::default(),
+            recovery: Default::default(),
         })
         .collect()
 }

@@ -25,6 +25,8 @@ fn control() -> SimConfig {
             cycles_per_byte: cycles_per_byte(2.0),
         },
         offload: None,
+        fault: Default::default(),
+        recovery: Default::default(),
     }
 }
 

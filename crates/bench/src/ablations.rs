@@ -96,6 +96,8 @@ pub fn alpha_weighting(seed: u64) -> AlphaWeightingAblation {
             profile.granularity.clone(),
         ),
         offload: None,
+        fault: Default::default(),
+        recovery: Default::default(),
     };
     let offload = OffloadConfig {
         design: ThreadingDesign::Sync,
@@ -168,6 +170,8 @@ pub fn queueing_sensitivity_with(pool: &ExecPool, seed: u64) -> Vec<QueueingAbla
             seed,
             workload: workload.clone(),
             offload: None,
+            fault: Default::default(),
+            recovery: Default::default(),
         };
         let offload = OffloadConfig {
             design: ThreadingDesign::Sync,
@@ -289,6 +293,8 @@ pub fn pool_depth_with(pool: &ExecPool, seed: u64) -> (f64, Vec<PoolDepthRow>) {
             seed,
             workload: workload.clone(),
             offload: None,
+            fault: Default::default(),
+            recovery: Default::default(),
         };
         let offload = OffloadConfig {
             design: ThreadingDesign::SyncOs,

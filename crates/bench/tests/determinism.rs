@@ -40,6 +40,8 @@ fn sweep_base() -> SimConfig {
             dispatch_pollution: 0.0,
             min_offload_bytes: None,
         }),
+        fault: Default::default(),
+        recovery: Default::default(),
     }
 }
 

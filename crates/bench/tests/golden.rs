@@ -77,6 +77,8 @@ fn sweep_base() -> SimConfig {
             dispatch_pollution: 0.0,
             min_offload_bytes: Some(128.0),
         }),
+        fault: Default::default(),
+        recovery: Default::default(),
     }
 }
 
@@ -89,7 +91,7 @@ fn load_sweep_matches_golden_fixture() {
 
 #[test]
 fn case_study_matches_golden_fixture() {
-    let (validation, ab) = simulate(&aes_ni_cache1(), 42);
+    let (validation, ab) = simulate(&aes_ni_cache1(), 42).expect("known case study");
     let json = format!(
         "{{\"validation\":{},\"ab\":{}}}",
         serde_json::to_string(&validation).expect("validation serializes"),

@@ -17,8 +17,11 @@
 //! * `accelctl project` — the §5 acceleration recommendations (Fig. 20);
 //! * `accelctl characterize <service> [--samples N] [--seed N]` — run the
 //!   synthetic profiler and print the §2 breakdowns;
-//! * `accelctl validate [--seed N]` — run the Table 6 A/B validation in
-//!   the simulator;
+//! * `accelctl validate [--seed N] [--case C]` — run the Table 6 A/B
+//!   validation in the simulator (optionally a single case study);
+//! * `accelctl faults [scenario.json] [--seed N]` — sweep a fault
+//!   scenario across recovery policies and emit a JSON report
+//!   (deterministic at any `--jobs` width);
 //! * `accelctl timeline <design>` — render the Figs. 12–14 offload
 //!   timeline for a threading design;
 //! * `accelctl bounds <config.json>` — decompose each scenario's cycle
@@ -39,9 +42,12 @@ use accelerometer::{
     Scenario, ThreadingDesign, Timeline, TimelineSpec,
 };
 use accelerometer_fleet::params::all_recommendations;
-use accelerometer_fleet::{profile, ServiceId};
+use accelerometer_fleet::{all_case_studies, profile, ServiceId};
 use accelerometer_profiler::{analyze, to_folded, TraceGenerator};
-use accelerometer_sim::validate_all;
+use accelerometer_sim::faultsweep::demo_scenario;
+use accelerometer_sim::{
+    run_fault_sweep, simulate, validate_all, FaultScenario, SimError, CASE_STUDY_NAMES,
+};
 
 /// Top-level usage text.
 pub const USAGE: &str = "usage: accelctl [--jobs N] <command> [args]
@@ -57,7 +63,11 @@ commands:
         kernel-fraction|queueing|thread-switch> --from X --to X [--points N]
   project                         Section 5 recommendations (Fig. 20)
   characterize <service> [--samples N] [--seed N] [--folded]
-  validate [--seed N]             Table 6 A/B validation in the simulator
+  validate [--seed N] [--case C]  Table 6 A/B validation in the simulator
+                                  (C: aes-ni | encryption | inference)
+  faults [scenario.json] [--seed N]   fault-injection sweep across recovery
+                                  policies; JSON report, byte-identical at
+                                  any --jobs width
   timeline <sync|sync-os|async-same-thread|async-distinct-thread|
             async-no-response>
   bounds <config.json>            dominant performance bound per scenario
@@ -81,6 +91,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Some("project") => Ok(cmd_project()),
         Some("characterize") => cmd_characterize(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
+        Some("faults") => cmd_faults(&args[1..]),
         Some("timeline") => cmd_timeline(&args[1..]),
         Some("bounds") => cmd_bounds(&args[1..]),
         Some("slo") => cmd_slo(&args[1..]),
@@ -293,6 +304,26 @@ fn cmd_characterize(args: &[String]) -> Result<String, String> {
 
 fn cmd_validate(args: &[String]) -> Result<String, String> {
     let seed = parse_f64(args, "--seed", Some(20_260_706.0))? as u64;
+    if let Some(name) = flag_value(args, "--case") {
+        let studies = all_case_studies();
+        let Some(study) = studies.iter().find(|s| s.name == name) else {
+            return Err(SimError::UnknownCaseStudy {
+                name,
+                valid: CASE_STUDY_NAMES,
+            }
+            .to_string());
+        };
+        let (v, _ab) = simulate(study, seed).map_err(|e| e.to_string())?;
+        return Ok(format!(
+            "case study {}: model {:.2}%  simulated {:.2}%  paper est {:.1}% real {:.2}%  (model-vs-sim {:.2} pts)\n",
+            v.name,
+            v.model_estimate_percent,
+            v.simulated_percent,
+            v.paper_estimated_percent,
+            v.paper_real_percent,
+            v.model_vs_simulated_points(),
+        ));
+    }
     let mut out = String::from("Table 6 validation (model vs simulated A/B vs paper):\n");
     for v in validate_all(seed) {
         let _ = writeln!(
@@ -308,6 +339,30 @@ fn cmd_validate(args: &[String]) -> Result<String, String> {
     }
     out.push_str("paper's bound: model estimates real speedup with <= 3.7% error\n");
     Ok(out)
+}
+
+/// `accelctl faults [scenario.json] [--seed N]`: run the fault sweep —
+/// the built-in degradation scenario by default, or one loaded from a
+/// JSON file — and emit the report as pretty-printed JSON. Every run is
+/// an independent seeded simulation, so output is byte-identical at any
+/// `--jobs` width.
+fn cmd_faults(args: &[String]) -> Result<String, String> {
+    let seed = parse_f64(args, "--seed", Some(20_260_806.0))? as u64;
+    let scenario = match args.first().filter(|a| !a.starts_with("--")) {
+        Some(path) => {
+            let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let mut scenario: FaultScenario = serde_json::from_str(&text)
+                .map_err(|e| format!("invalid fault scenario {path}: {e}"))?;
+            // --seed overrides the file's seed; otherwise the file wins.
+            if flag_value(args, "--seed").is_some() {
+                scenario.base.seed = seed;
+            }
+            scenario
+        }
+        None => demo_scenario(seed),
+    };
+    let report = run_fault_sweep(&scenario).map_err(|e| e.to_string())?;
+    serde_json::to_string_pretty(&report).map_err(|e| e.to_string())
 }
 
 fn cmd_timeline(args: &[String]) -> Result<String, String> {
@@ -531,6 +586,43 @@ mod tests {
         let first = out.lines().next().unwrap();
         assert!(first.contains(';'), "{first}");
         assert!(first.rsplit(' ').next().unwrap().parse::<u64>().is_ok());
+    }
+
+    #[test]
+    fn validate_runs_a_single_case_and_rejects_unknown_names() {
+        let out = run(&args(&["validate", "--case", "aes-ni"])).unwrap();
+        assert!(out.contains("case study aes-ni"), "{out}");
+        assert!(out.contains("model"), "{out}");
+        // Regression: an unknown name used to panic inside the sim
+        // crate; it must now surface the structured error listing the
+        // valid names.
+        let err = run(&args(&["validate", "--case", "bogus"])).unwrap_err();
+        assert!(err.contains("unknown case study 'bogus'"), "{err}");
+        assert!(err.contains("aes-ni, encryption, inference"), "{err}");
+    }
+
+    #[test]
+    fn faults_sweep_reports_every_policy() {
+        let out = run(&args(&["faults", "--seed", "11"])).unwrap();
+        for policy in ["no-recovery", "retry", "retry-fallback", "admission", "full"] {
+            assert!(out.contains(&format!("\"{policy}\"")), "{policy} missing");
+        }
+        assert!(out.contains("goodput_per_gcycle"), "{out}");
+        assert!(out.contains("slo_met"), "{out}");
+        assert!(run(&args(&["faults", "/nonexistent.json"]))
+            .unwrap_err()
+            .contains("cannot read"));
+    }
+
+    #[test]
+    fn faults_config_file_matches_the_builtin_scenario() {
+        let builtin = run(&args(&["faults"])).unwrap();
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../configs/faults-degradation.json"
+        );
+        let from_file = run(&args(&["faults", path])).unwrap();
+        assert_eq!(builtin, from_file);
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Golden-output tests for `accelctl faults`: the committed fixture pins
+//! the report byte-for-byte, proves it is identical at any `--jobs`
+//! width, and demonstrates the acceptance property — retry + fallback
+//! recovery yields strictly higher goodput and a strictly lower p99 than
+//! no recovery under device degradation.
+//!
+//! To regenerate after an intentional output change:
+//!
+//! ```sh
+//! GOLDEN_BLESS=1 cargo test -p accelerometer-cli --test faults_golden
+//! ```
+//!
+//! Blessing also rewrites `configs/faults-degradation.json`, keeping the
+//! shipped scenario file in lockstep with the built-in demo scenario.
+
+use std::fs;
+use std::path::PathBuf;
+
+use accelerometer_cli::run;
+use accelerometer_sim::faultsweep::{demo_scenario, FaultSweepReport};
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| (*s).to_owned()).collect()
+}
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden_faults.json")
+}
+
+fn config_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../configs/faults-degradation.json")
+}
+
+#[test]
+fn faults_report_matches_golden_fixture_at_any_jobs_width() {
+    let one = run(&args(&["--jobs", "1", "faults"])).expect("faults runs");
+    let many = run(&args(&["--jobs", "4", "faults"])).expect("faults runs");
+    accelerometer::exec::set_default_jobs(0);
+    assert_eq!(one, many, "faults report must not depend on --jobs");
+
+    let path = fixture_path();
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        fs::create_dir_all(path.parent().expect("fixture dir")).expect("create fixture dir");
+        fs::write(&path, &one).expect("write fixture");
+        let scenario_json = serde_json::to_string_pretty(&demo_scenario(20_260_806))
+            .expect("scenario serializes");
+        fs::write(config_path(), scenario_json).expect("write scenario config");
+        return;
+    }
+    let expected = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {path:?} ({e}); run with GOLDEN_BLESS=1"));
+    assert_eq!(
+        expected, one,
+        "golden faults report drifted; if intentional, regenerate with GOLDEN_BLESS=1"
+    );
+}
+
+#[test]
+fn shipped_scenario_config_matches_the_builtin_demo() {
+    let text = fs::read_to_string(config_path()).expect("configs/faults-degradation.json exists");
+    let parsed: accelerometer_sim::FaultScenario =
+        serde_json::from_str(&text).expect("scenario parses");
+    assert_eq!(parsed, demo_scenario(20_260_806));
+}
+
+#[test]
+fn fixture_shows_recovery_strictly_beats_no_recovery() {
+    let report: FaultSweepReport =
+        serde_json::from_str(&fs::read_to_string(fixture_path()).expect("fixture exists"))
+            .expect("fixture parses");
+    let outcome = |name: &str| {
+        report
+            .outcomes
+            .iter()
+            .find(|o| o.policy == name)
+            .unwrap_or_else(|| panic!("policy {name} in fixture"))
+    };
+    let none = outcome("no-recovery");
+    let recovered = outcome("retry-fallback");
+    assert!(
+        recovered.goodput_per_gcycle > none.goodput_per_gcycle,
+        "goodput {:.2} vs {:.2}",
+        recovered.goodput_per_gcycle,
+        none.goodput_per_gcycle
+    );
+    assert!(
+        recovered.p99_latency < none.p99_latency,
+        "p99 {:.0} vs {:.0}",
+        recovered.p99_latency,
+        none.p99_latency
+    );
+    // Fallback alone caps the damage but cannot restore the SLO; the
+    // combined policy (retries + fallback + admission control) does.
+    assert!(!none.slo_met);
+    assert!(!recovered.slo_met);
+    assert!(outcome("full").slo_met);
+}

@@ -60,7 +60,16 @@ impl LatencySlo {
     /// Whether a scenario meets this SLO.
     #[must_use]
     pub fn is_met_by(&self, scenario: &Scenario) -> bool {
-        scenario.estimate().latency_reduction >= self.min_reduction - 1e-12
+        self.is_met_by_ratio(scenario.estimate().latency_reduction)
+    }
+
+    /// Whether a *measured* latency reduction (`C/CL`, or any
+    /// baseline-over-treatment latency ratio, e.g. p99 under faults)
+    /// meets this SLO — the simulator-side counterpart of
+    /// [`is_met_by`](Self::is_met_by).
+    #[must_use]
+    pub fn is_met_by_ratio(&self, reduction: f64) -> bool {
+        reduction >= self.min_reduction - 1e-12
     }
 }
 
@@ -187,6 +196,15 @@ mod tests {
         assert!(LatencySlo::at_least(0.0).is_err());
         assert!(LatencySlo::at_least(f64::NAN).is_err());
         assert_eq!(LatencySlo::no_regression().min_reduction(), 1.0);
+    }
+
+    #[test]
+    fn measured_ratios_check_against_the_same_boundary() {
+        let slo = LatencySlo::at_least(0.5).unwrap();
+        assert!(slo.is_met_by_ratio(0.5));
+        assert!(slo.is_met_by_ratio(1.2));
+        assert!(!slo.is_met_by_ratio(0.49));
+        assert!(!slo.is_met_by_ratio(f64::NAN));
     }
 
     #[test]

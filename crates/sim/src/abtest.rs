@@ -97,6 +97,8 @@ mod tests {
                 cycles_per_byte: cycles_per_byte(4.0),
             },
             offload: None,
+            fault: Default::default(),
+            recovery: Default::default(),
         }
     }
 

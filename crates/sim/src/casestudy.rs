@@ -17,7 +17,13 @@ use serde::{Deserialize, Serialize};
 use crate::abtest::{run_ab, AbResult};
 use crate::device::DeviceKind;
 use crate::engine::{OffloadConfig, SimConfig};
+use crate::error::{Result, SimError};
+use crate::fault::{FaultPlan, RecoveryPolicy};
 use crate::workload::workload_for_params;
+
+/// The Table 6 case-study names, in row order — the valid arguments to
+/// [`simulate`] and the CLI's `validate --case`.
+pub const CASE_STUDY_NAMES: &[&str] = &["aes-ni", "encryption", "inference"];
 
 /// Host-side per-offload cycles unmodeled by Accelerometer, calibrated
 /// per case study (see module docs): AES-NI instruction-stream pollution.
@@ -90,6 +96,8 @@ fn control_config(study: &CaseStudy, scale: f64, horizon: f64, seed: u64) -> Sim
         seed,
         workload,
         offload: None,
+        fault: FaultPlan::none(),
+        recovery: RecoveryPolicy::none(),
     }
 }
 
@@ -113,13 +121,23 @@ fn offload_config(study: &CaseStudy, scale: f64, pollution: f64) -> OffloadConfi
 }
 
 /// Runs one case study's A/B experiment in the simulator.
-#[must_use]
-pub fn simulate(study: &CaseStudy, seed: u64) -> (CaseStudyValidation, AbResult) {
+///
+/// # Errors
+///
+/// Returns [`SimError::UnknownCaseStudy`] (listing the valid names) for
+/// a study whose name is not a Table 6 row. This used to be a `panic!`
+/// reachable from the CLI.
+pub fn simulate(study: &CaseStudy, seed: u64) -> Result<(CaseStudyValidation, AbResult)> {
     let (scale, pollution, horizon) = match study.name {
         "aes-ni" => (1.0, AES_NI_POLLUTION, 2.5e8),
         "encryption" => (1.0, PCIE_POLLUTION, 8.0e8),
         "inference" => (INFERENCE_SCALE, REMOTE_POLLUTION, 1.2e9),
-        other => panic!("unknown case study {other}"),
+        other => {
+            return Err(SimError::UnknownCaseStudy {
+                name: other.to_owned(),
+                valid: CASE_STUDY_NAMES,
+            })
+        }
     };
     let control = control_config(study, scale, horizon, seed);
     let offload = offload_config(study, scale, pollution);
@@ -131,7 +149,7 @@ pub fn simulate(study: &CaseStudy, seed: u64) -> (CaseStudyValidation, AbResult)
         paper_estimated_percent: study.paper_estimated_percent,
         paper_real_percent: study.paper_real_percent,
     };
-    (validation, ab)
+    Ok((validation, ab))
 }
 
 /// Runs all three case studies (Table 6), fanning the independent A/B
@@ -150,7 +168,11 @@ pub fn validate_all_with(
     seed: u64,
 ) -> Vec<CaseStudyValidation> {
     let studies = all_case_studies();
-    pool.map(&studies, |_, study| simulate(study, seed).0)
+    pool.map(&studies, |_, study| {
+        simulate(study, seed)
+            .expect("all_case_studies yields only known names")
+            .0
+    })
 }
 
 /// Sanity mapping used by the tests: each case study exercises a distinct
@@ -195,8 +217,27 @@ mod tests {
     }
 
     #[test]
+    fn unknown_case_study_is_a_structured_error() {
+        // Regression: this used to be `panic!("unknown case study …")`
+        // reachable straight from the CLI.
+        let mut study = aes_ni_cache1();
+        study.name = "bogus";
+        let err = simulate(&study, 42).unwrap_err();
+        match &err {
+            SimError::UnknownCaseStudy { name, valid } => {
+                assert_eq!(name, "bogus");
+                assert_eq!(*valid, CASE_STUDY_NAMES);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("bogus"), "{msg}");
+        assert!(msg.contains("aes-ni, encryption, inference"), "{msg}");
+    }
+
+    #[test]
     fn aes_ni_simulation_lands_near_production() {
-        let (validation, ab) = simulate(&aes_ni_cache1(), 42);
+        let (validation, ab) = simulate(&aes_ni_cache1(), 42).expect("known case study");
         // Model estimate ≈ 15.7%.
         assert!((validation.model_estimate_percent - 15.7).abs() < 0.1);
         // Simulated "real" speedup within a point of the paper's 14%.

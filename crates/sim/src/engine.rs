@@ -18,7 +18,10 @@ use serde::{Deserialize, Serialize};
 
 use crate::device::{Device, DeviceKind};
 use crate::equeue::EventQueue;
-use crate::metrics::{LatencyStats, SimMetrics};
+use crate::error::{ensure, Result};
+use crate::fault::{FaultPlan, FaultState, RecoveryPolicy};
+use crate::metrics::{FaultMetrics, LatencyStats, SimMetrics};
+use crate::parallel::derive_seed;
 use crate::time::SimTime;
 use crate::workload::{RequestSampler, WorkItem, WorkloadSpec};
 
@@ -85,6 +88,54 @@ pub struct SimConfig {
     /// Accelerator configuration; `None` simulates the unaccelerated
     /// baseline (kernels execute on the host).
     pub offload: Option<OffloadConfig>,
+    /// Fault-injection plan for the offload path. Defaults to
+    /// [`FaultPlan::none`], which is provably zero-impact: the engine
+    /// takes the identical code path, bit for bit.
+    #[serde(default)]
+    pub fault: FaultPlan,
+    /// Recovery policy for faulted offloads. Defaults to
+    /// [`RecoveryPolicy::none`] (no detection, no retries, no fallback).
+    #[serde(default)]
+    pub recovery: RecoveryPolicy,
+}
+
+impl SimConfig {
+    /// Validates the configuration without building a simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SimError::InvalidConfig`] for degenerate values
+    /// that would otherwise panic deep in the engine or surface as NaN
+    /// metrics (zero cores, fewer threads than cores, a zero or
+    /// non-finite horizon, malformed fault plans or recovery policies).
+    pub fn validate(&self) -> Result<()> {
+        ensure(
+            self.cores > 0,
+            "cores",
+            self.cores as f64,
+            "need at least one core",
+        )?;
+        ensure(
+            self.threads >= self.cores,
+            "threads",
+            self.threads as f64,
+            "threads must cover cores",
+        )?;
+        ensure(
+            self.horizon.is_finite() && self.horizon > 0.0,
+            "horizon",
+            self.horizon,
+            "horizon must be positive",
+        )?;
+        ensure(
+            self.context_switch_cycles.is_finite() && self.context_switch_cycles >= 0.0,
+            "context_switch_cycles",
+            self.context_switch_cycles,
+            "context switch cost must be finite and non-negative",
+        )?;
+        self.fault.validate()?;
+        self.recovery.validate()
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -102,6 +153,9 @@ enum Event {
         pickup: bool,
         /// Whether the blocked thread should be woken (Sync-OS).
         wakes_thread: bool,
+        /// Whether the offload was abandoned (fault injection): the
+        /// request still completes but counts as failed.
+        failed: bool,
     },
 }
 
@@ -153,6 +207,7 @@ struct RequestState {
     start: SimTime,
     outstanding: u32,
     host_done: bool,
+    failed: bool,
     completion_lower_bound: SimTime,
 }
 
@@ -171,11 +226,15 @@ pub struct Simulator {
     free_cores: Vec<usize>,
     core_last_thread: Vec<Option<usize>>,
     device: Option<Device>,
+    /// Fault-injection state; `None` when both the plan and the policy
+    /// are inactive, so the fault-free path stays bit-identical.
+    fault: Option<FaultState>,
     /// Request slab: live request state, indexed by slab handle.
     requests: Vec<RequestState>,
     /// Retired slab slots awaiting reuse (LIFO keeps them cache-hot).
     free_requests: Vec<usize>,
     completed: u64,
+    completed_failed: u64,
     latencies: Vec<f64>,
     core_busy: f64,
     offloads: u64,
@@ -191,16 +250,40 @@ impl Simulator {
     ///
     /// # Panics
     ///
-    /// Panics on a zero-core, zero-thread, or zero-horizon configuration.
+    /// Panics on a configuration [`try_new`](Self::try_new) rejects
+    /// (zero cores, fewer threads than cores, zero horizon, …).
     #[must_use]
     pub fn new(cfg: SimConfig) -> Self {
-        assert!(cfg.cores > 0, "need at least one core");
-        assert!(cfg.threads >= cfg.cores, "threads must cover cores");
-        assert!(cfg.horizon > 0.0, "horizon must be positive");
+        match Self::try_new(cfg) {
+            Ok(sim) => sim,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Builds a simulator, reporting degenerate configurations as a
+    /// structured error instead of panicking (or worse, producing NaN
+    /// metrics from a zero horizon or zero cores).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SimError::InvalidConfig`] when
+    /// [`SimConfig::validate`] rejects the configuration.
+    pub fn try_new(cfg: SimConfig) -> Result<Self> {
+        cfg.validate()?;
         let device = cfg
             .offload
             .as_ref()
-            .map(|o| Device::new(o.device, o.interface_latency, cfg.cores));
+            .map(|o| Device::new(o.device, o.interface_latency, cfg.cores, cfg.horizon));
+        // The fault subsystem only exists when it can change behaviour;
+        // its RNG is derived from (run seed, plan seed) and is disjoint
+        // from the workload stream, so a disabled plan is zero-impact.
+        let fault = (cfg.fault.is_active() || cfg.recovery.is_active()).then(|| {
+            FaultState::new(
+                cfg.fault.clone(),
+                cfg.recovery,
+                derive_seed(cfg.seed, cfg.fault.seed),
+            )
+        });
         let threads = (0..cfg.threads)
             .map(|_| Thread {
                 state: ThreadState::Ready,
@@ -211,13 +294,14 @@ impl Simulator {
             .collect();
         let rng = StdRng::seed_from_u64(cfg.seed);
         let sampler = cfg.workload.sampler();
-        Self {
+        Ok(Self {
             sampler,
             ready: (0..cfg.threads).collect(),
             free_cores: (0..cfg.cores).rev().collect(),
             core_last_thread: vec![None; cfg.cores],
             threads,
             device,
+            fault,
             // The slab only ever holds live requests, so sizing it to
             // the thread count (each thread drives one request, plus a
             // little slack for requests finishing asynchronously) avoids
@@ -225,6 +309,7 @@ impl Simulator {
             requests: Vec::with_capacity(2 * cfg.threads),
             free_requests: Vec::with_capacity(2 * cfg.threads),
             completed: 0,
+            completed_failed: 0,
             latencies: Vec::new(),
             core_busy: 0.0,
             offloads: 0,
@@ -240,7 +325,7 @@ impl Simulator {
             events: EventQueue::with_capacity(2 * cfg.threads + 8),
             rng,
             cfg,
-        }
+        })
     }
 
     fn push_event(&mut self, time: SimTime, event: Event) {
@@ -282,8 +367,10 @@ impl Simulator {
                     request,
                     pickup,
                     wakes_thread,
+                    failed,
                 } => {
                     self.requests[request].outstanding -= 1;
+                    self.requests[request].failed |= failed;
                     self.requests[request].completion_lower_bound =
                         self.requests[request].completion_lower_bound.max(self.now);
                     if pickup {
@@ -391,45 +478,85 @@ impl Simulator {
             }
         }
 
+        // Admission control (recovery policy): when the device's
+        // predicted backlog exceeds the shed threshold, execute on the
+        // host instead of joining a collapsing queue.
+        if let (Some(device), Some(fault)) = (self.device.as_ref(), self.fault.as_mut()) {
+            if let Some(limit) = fault.recovery.shed_backlog_cycles {
+                if device.predicted_queue_delay(start, core) > limit {
+                    fault.metrics.shed_offloads += 1;
+                    self.core_busy += host_cycles;
+                    self.push_event(start + host_cycles, Event::SliceDone { thread, core });
+                    return;
+                }
+            }
+        }
+
         // Dispatch to the accelerator.
         self.offloads += 1;
         let setup = offload.setup_cycles + offload.dispatch_pollution;
         let issue = start + setup;
         let service = host_cycles / offload.peak_speedup;
-        let dispatch = self
+        let device = self
             .device
             .as_mut()
-            .expect("offload config implies a device")
-            .dispatch(issue, core, service);
+            .expect("offload config implies a device");
+        // Under faults the single dispatch becomes a saga (retries,
+        // backoff, timeout, fallback); `done` and `service_start` keep
+        // their healthy-path meanings so the engagement rules below are
+        // untouched. The fault-free arm is the exact original path.
+        let (done, service_start, failed, fallback_host_cycles) = match self.fault.as_mut() {
+            Some(fault) => {
+                let saga = fault.offload_saga(device, issue, core, service, host_cycles);
+                (
+                    saga.done,
+                    saga.engaged_ref,
+                    saga.abandoned,
+                    saga.fallback_host_cycles,
+                )
+            }
+            None => {
+                let dispatch = device.dispatch(issue, core, service);
+                (dispatch.done, dispatch.service_start, false, 0.0)
+            }
+        };
         let request = self.threads[thread].request;
 
         // Host-side engagement beyond setup: how long the core stays
         // occupied with this offload (the model's L+Q routing rules).
         let transfer_engaged = match (offload.design, offload.strategy, offload.driver) {
-            (ThreadingDesign::Sync, _, _) => dispatch.done, // blocked to completion
+            (ThreadingDesign::Sync, _, _) => done, // blocked to completion
             (ThreadingDesign::SyncOs, AccelerationStrategy::Remote, _)
             | (ThreadingDesign::SyncOs, _, DriverMode::Posted) => issue,
-            (ThreadingDesign::SyncOs, _, DriverMode::AwaitsAck) => dispatch.service_start,
+            (ThreadingDesign::SyncOs, _, DriverMode::AwaitsAck) => service_start,
             (_, AccelerationStrategy::Remote, _) => issue,
-            (_, _, _) => dispatch.service_start,
+            (_, _, _) => service_start,
         };
+
+        // A host fallback consumes core cycles wherever it runs; Sync
+        // already charges them inside the blocked round trip below.
+        // Adding 0.0 on the healthy path is bit-exact.
+        if offload.design != ThreadingDesign::Sync {
+            self.core_busy += fallback_host_cycles;
+        }
 
         match offload.design {
             ThreadingDesign::Sync => {
                 // Core held for the whole round trip (Fig. 12).
-                let held = dispatch.done - start;
+                let held = done - start;
                 self.core_busy += held;
                 self.requests[request].outstanding += 1;
                 self.push_event(
-                    dispatch.done,
+                    done,
                     Event::OffloadDone {
                         thread,
                         request,
                         pickup: false,
                         wakes_thread: false,
+                        failed,
                     },
                 );
-                self.push_event(dispatch.done, Event::SliceDone { thread, core });
+                self.push_event(done, Event::SliceDone { thread, core });
             }
             ThreadingDesign::SyncOs => {
                 // Core engaged through the ack, then switches away; the
@@ -440,12 +567,13 @@ impl Simulator {
                 self.requests[request].outstanding += 1;
                 self.push_event(engaged_until, Event::DispatchDone { thread, core });
                 self.push_event(
-                    dispatch.done.max(engaged_until),
+                    done.max(engaged_until),
                     Event::OffloadDone {
                         thread,
                         request,
                         pickup: false,
                         wakes_thread: true,
+                        failed,
                     },
                 );
             }
@@ -462,18 +590,21 @@ impl Simulator {
                     || offload.strategy != AccelerationStrategy::Remote;
                 if track_completion {
                     self.push_event(
-                        dispatch.done,
+                        done,
                         Event::OffloadDone {
                             thread,
                             request,
                             pickup,
                             wakes_thread: false,
+                            failed,
                         },
                     );
                 } else {
                     // Remote fire-and-forget: the response never returns
-                    // to this microservice.
+                    // to this microservice, but an abandoned offload
+                    // still fails the request.
                     self.requests[request].outstanding -= 1;
+                    self.requests[request].failed |= failed;
                 }
                 self.push_event(engaged_until, Event::SliceDone { thread, core });
             }
@@ -485,6 +616,7 @@ impl Simulator {
             start,
             outstanding: 0,
             host_done: false,
+            failed: false,
             completion_lower_bound: start,
         };
         // Recycle the most recently retired slab slot (it is the most
@@ -535,6 +667,7 @@ impl Simulator {
         // call can observe this state again before the slot is reused.
         let end = state.completion_lower_bound.max(at);
         self.completed += 1;
+        self.completed_failed += u64::from(state.failed);
         self.live_requests -= 1;
         self.latencies.push(end - state.start);
         self.free_requests.push(request);
@@ -546,8 +679,14 @@ impl Simulator {
             .device
             .as_ref()
             .map_or((0.0, 0.0, 0), |d| {
-                (d.mean_queue_delay(), d.utilization(horizon), d.offloads())
+                (d.mean_queue_delay(), d.utilization(), d.offloads())
             });
+        let faults = self.fault.as_ref().map_or_else(FaultMetrics::default, |f| {
+            let mut m = f.metrics;
+            m.failed_requests = self.completed_failed;
+            m.goodput_per_gcycle = (self.completed - self.completed_failed) as f64 / horizon * 1e9;
+            m
+        });
         let metrics = SimMetrics {
             horizon_cycles: horizon,
             completed_requests: self.completed,
@@ -560,6 +699,7 @@ impl Simulator {
             device_utilization,
             device_offloads,
             thread_switches: self.switches,
+            faults,
         };
         let stats = EngineStats {
             events_processed: self.events_processed,
@@ -594,6 +734,8 @@ mod tests {
             seed: 1,
             workload: workload(),
             offload: None,
+            fault: FaultPlan::none(),
+            recovery: RecoveryPolicy::none(),
         }
     }
 
@@ -826,5 +968,158 @@ mod tests {
         let mut cfg = base_config();
         cfg.threads = 2;
         let _ = Simulator::new(cfg);
+    }
+
+    fn expect_invalid(cfg: SimConfig) -> crate::error::SimError {
+        match Simulator::try_new(cfg) {
+            Err(err) => err,
+            Ok(_) => panic!("expected an invalid-config error"),
+        }
+    }
+
+    #[test]
+    fn degenerate_configs_error_instead_of_nan() {
+        // Regression: horizon == 0 used to reach Engine::finish and
+        // divide by zero (NaN throughput/utilization in serialized JSON);
+        // cores == 0 used to panic deep in the scheduler.
+        let mut cfg = base_config();
+        cfg.horizon = 0.0;
+        let err = expect_invalid(cfg);
+        assert!(err.to_string().contains("horizon must be positive"), "{err}");
+
+        let mut cfg = base_config();
+        cfg.cores = 0;
+        cfg.threads = 0;
+        let err = expect_invalid(cfg);
+        assert!(err.to_string().contains("need at least one core"), "{err}");
+
+        let mut cfg = base_config();
+        cfg.horizon = f64::NAN;
+        assert!(Simulator::try_new(cfg).is_err());
+
+        let mut cfg = base_config();
+        cfg.fault.failure_probability = 2.0;
+        assert!(Simulator::try_new(cfg).is_err());
+    }
+
+    fn faulty_offload() -> OffloadConfig {
+        OffloadConfig {
+            design: ThreadingDesign::AsyncSameThread,
+            strategy: AccelerationStrategy::OffChip,
+            device: DeviceKind::Shared { servers: 4 },
+            driver: DriverMode::Posted,
+            peak_speedup: 4.0,
+            interface_latency: 2_000.0,
+            setup_cycles: 50.0,
+            dispatch_pollution: 0.0,
+            min_offload_bytes: None,
+        }
+    }
+
+    #[test]
+    fn disabled_fault_plan_is_bit_identical() {
+        let mut cfg = base_config();
+        cfg.offload = Some(faulty_offload());
+        let clean = Simulator::new(cfg.clone()).run();
+        // Explicitly-none plan and policy (the serde defaults) must take
+        // the identical code path: every metric matches bit for bit.
+        cfg.fault = FaultPlan::none();
+        cfg.recovery = RecoveryPolicy::none();
+        let with_subsystem = Simulator::new(cfg).run();
+        assert_eq!(clean, with_subsystem);
+        assert!(!with_subsystem.faults.active);
+    }
+
+    #[test]
+    fn injected_failures_without_recovery_cost_goodput() {
+        let mut cfg = base_config();
+        cfg.offload = Some(faulty_offload());
+        cfg.fault = FaultPlan {
+            failure_probability: 0.05,
+            ..FaultPlan::none()
+        };
+        let m = Simulator::new(cfg).run();
+        assert!(m.faults.active);
+        assert!(m.faults.injected_failures > 0);
+        assert_eq!(m.faults.abandoned_offloads, m.faults.injected_failures);
+        assert!(m.faults.failed_requests > 0);
+        assert!(m.faults.goodput_per_gcycle < m.throughput_per_gcycle);
+    }
+
+    #[test]
+    fn retry_and_fallback_recover_goodput() {
+        let mut cfg = base_config();
+        cfg.offload = Some(faulty_offload());
+        cfg.fault = FaultPlan {
+            failure_probability: 0.05,
+            ..FaultPlan::none()
+        };
+        let unprotected = Simulator::new(cfg.clone()).run();
+        cfg.recovery = RecoveryPolicy {
+            max_retries: 3,
+            backoff_base_cycles: 1_000.0,
+            fallback_to_host: true,
+            ..RecoveryPolicy::none()
+        };
+        let protected = Simulator::new(cfg).run();
+        assert!(protected.faults.retries > 0);
+        assert_eq!(protected.faults.failed_requests, 0);
+        assert!(
+            protected.faults.goodput_per_gcycle > unprotected.faults.goodput_per_gcycle,
+            "recovered {:.1} vs unprotected {:.1}",
+            protected.faults.goodput_per_gcycle,
+            unprotected.faults.goodput_per_gcycle
+        );
+    }
+
+    #[test]
+    fn downtime_window_inflates_tail_latency() {
+        let mut cfg = base_config();
+        // Remote keeps the host dispatching during the outage (engaged
+        // only through issue), so the backlog — and the tail — builds.
+        cfg.offload = Some(OffloadConfig {
+            strategy: AccelerationStrategy::Remote,
+            ..faulty_offload()
+        });
+        let healthy = Simulator::new(cfg.clone()).run();
+        cfg.fault = FaultPlan {
+            degradation: vec![crate::fault::DegradationWindow::downtime(1e7, 2e7)],
+            ..FaultPlan::none()
+        };
+        let degraded = Simulator::new(cfg).run();
+        assert!(degraded.faults.degraded_offloads > 0);
+        assert!(
+            degraded.latency.p99 > 2.0 * healthy.latency.p99,
+            "downtime p99 {:.0} vs healthy {:.0}",
+            degraded.latency.p99,
+            healthy.latency.p99
+        );
+    }
+
+    #[test]
+    fn admission_control_sheds_backlog_to_host() {
+        let mut cfg = base_config();
+        cfg.offload = Some(OffloadConfig {
+            device: DeviceKind::Shared { servers: 1 },
+            peak_speedup: 1.2,
+            ..faulty_offload()
+        });
+        cfg.fault = FaultPlan {
+            degradation: vec![crate::fault::DegradationWindow::downtime(1e7, 2e7)],
+            ..FaultPlan::none()
+        };
+        let waiting = Simulator::new(cfg.clone()).run();
+        cfg.recovery = RecoveryPolicy {
+            shed_backlog_cycles: Some(20_000.0),
+            ..RecoveryPolicy::none()
+        };
+        let shedding = Simulator::new(cfg).run();
+        assert!(shedding.faults.shed_offloads > 0);
+        assert!(
+            shedding.latency.p99 < waiting.latency.p99,
+            "shed p99 {:.0} vs waiting p99 {:.0}",
+            shedding.latency.p99,
+            waiting.latency.p99
+        );
     }
 }

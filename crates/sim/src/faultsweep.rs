@@ -1,0 +1,312 @@
+//! The fault sweep: one degraded scenario, many recovery policies.
+//!
+//! §4's lesson is that offload engines become distributed-system
+//! dependencies; this runner quantifies what each recovery discipline
+//! buys when the accelerator misbehaves. A [`FaultScenario`] pairs a
+//! base configuration with a [`FaultPlan`] and a list of named
+//! [`RecoveryPolicy`]s; the sweep simulates a healthy reference run plus
+//! one run per policy and reports goodput, p99, and an SLO verdict per
+//! policy. Every run is an independent seeded simulation, so the report
+//! is byte-identical at any worker-pool width.
+
+use accelerometer::LatencySlo;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{OffloadConfig, SimConfig, Simulator};
+use crate::error::{ensure, Result};
+use crate::fault::{DegradationWindow, FaultPlan, RecoveryPolicy};
+use crate::metrics::SimMetrics;
+use crate::parallel::ExecPool;
+
+/// A recovery policy with a human-readable name for the report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NamedPolicy {
+    /// Display name (e.g. `"retry-fallback"`).
+    pub name: String,
+    /// The policy itself.
+    pub policy: RecoveryPolicy,
+}
+
+/// One fault sweep: a base configuration, the faults to inject, and the
+/// recovery policies to compare.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultScenario {
+    /// The base simulation (its own `fault`/`recovery` fields are
+    /// ignored; the sweep substitutes the plan and each policy).
+    pub base: SimConfig,
+    /// The fault plan applied to every policy run.
+    pub plan: FaultPlan,
+    /// The recovery policies to compare, in report order.
+    pub policies: Vec<NamedPolicy>,
+    /// SLO: minimum acceptable `healthy p99 / faulted p99` ratio.
+    pub slo_min_p99_ratio: f64,
+}
+
+/// One policy's outcome under the scenario's faults.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyOutcome {
+    /// The policy's name.
+    pub policy: String,
+    /// Good (non-failed) requests per 10⁹ host cycles.
+    pub goodput_per_gcycle: f64,
+    /// p99 request latency under faults, in cycles.
+    pub p99_latency: f64,
+    /// `healthy p99 / faulted p99` (1.0 = no tail inflation).
+    pub p99_ratio_vs_healthy: f64,
+    /// Whether the ratio meets the scenario's SLO.
+    pub slo_met: bool,
+    /// The run's full metrics (including the fault counters).
+    pub metrics: SimMetrics,
+}
+
+/// The full report: the healthy reference plus one outcome per policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSweepReport {
+    /// The seed every run used.
+    pub seed: u64,
+    /// The scenario's SLO threshold, echoed for the reader.
+    pub slo_min_p99_ratio: f64,
+    /// The fault-free reference run.
+    pub healthy: SimMetrics,
+    /// Per-policy outcomes, in scenario order.
+    pub outcomes: Vec<PolicyOutcome>,
+}
+
+/// Runs the sweep on the process-wide default pool.
+///
+/// # Errors
+///
+/// Returns [`crate::SimError::InvalidConfig`] when the base
+/// configuration, the plan, any policy, or the SLO ratio is invalid.
+pub fn run_fault_sweep(scenario: &FaultScenario) -> Result<FaultSweepReport> {
+    run_fault_sweep_with(&ExecPool::default(), scenario)
+}
+
+/// [`run_fault_sweep`] with an explicit worker pool. Each run is an
+/// independent seeded simulation and results are assembled in input
+/// order, so the report is identical at any pool width.
+///
+/// # Errors
+///
+/// Returns [`crate::SimError::InvalidConfig`] when the base
+/// configuration, the plan, any policy, or the SLO ratio is invalid.
+pub fn run_fault_sweep_with(pool: &ExecPool, scenario: &FaultScenario) -> Result<FaultSweepReport> {
+    ensure(
+        scenario.slo_min_p99_ratio.is_finite() && scenario.slo_min_p99_ratio > 0.0,
+        "slo_min_p99_ratio",
+        scenario.slo_min_p99_ratio,
+        "SLO ratio must be finite and positive",
+    )?;
+    let slo = LatencySlo::at_least(scenario.slo_min_p99_ratio).expect("validated above");
+
+    // Index 0 is the healthy reference; one faulted run per policy.
+    let mut configs = Vec::with_capacity(scenario.policies.len() + 1);
+    let mut healthy = scenario.base.clone();
+    healthy.fault = FaultPlan::none();
+    healthy.recovery = RecoveryPolicy::none();
+    configs.push(healthy);
+    for named in &scenario.policies {
+        let mut cfg = scenario.base.clone();
+        cfg.fault = scenario.plan.clone();
+        cfg.recovery = named.policy;
+        configs.push(cfg);
+    }
+    // Validate everything up front so a bad policy cannot panic a
+    // worker thread mid-sweep.
+    for cfg in &configs {
+        cfg.validate()?;
+    }
+
+    let mut results = pool.map(&configs, |_, cfg| Simulator::new(cfg.clone()).run());
+    let healthy = results.remove(0);
+    let outcomes = scenario
+        .policies
+        .iter()
+        .zip(results)
+        .map(|(named, metrics)| {
+            let p99 = metrics.latency.p99;
+            let ratio = if p99 > 0.0 { healthy.latency.p99 / p99 } else { 0.0 };
+            let goodput = if metrics.faults.active {
+                metrics.faults.goodput_per_gcycle
+            } else {
+                metrics.throughput_per_gcycle
+            };
+            PolicyOutcome {
+                policy: named.name.clone(),
+                goodput_per_gcycle: goodput,
+                p99_latency: p99,
+                p99_ratio_vs_healthy: ratio,
+                slo_met: slo.is_met_by_ratio(ratio),
+                metrics,
+            }
+        })
+        .collect();
+    Ok(FaultSweepReport {
+        seed: scenario.base.seed,
+        slo_min_p99_ratio: scenario.slo_min_p99_ratio,
+        healthy,
+        outcomes,
+    })
+}
+
+/// The built-in demonstration scenario (also shipped as
+/// `configs/faults-degradation.json` and pinned by the CLI's golden
+/// fixture): a shared remote accelerator that suffers a 3M-cycle full
+/// outage, sporadic failures, and interface-latency spikes, swept across
+/// five recovery disciplines from "do nothing" to the full stack.
+#[must_use]
+pub fn demo_scenario(seed: u64) -> FaultScenario {
+    use accelerometer::units::cycles_per_byte;
+    use accelerometer::{AccelerationStrategy, DriverMode, GranularityCdf, ThreadingDesign};
+
+    use crate::device::DeviceKind;
+    use crate::workload::WorkloadSpec;
+
+    let base = SimConfig {
+        cores: 2,
+        threads: 2,
+        context_switch_cycles: 400.0,
+        horizon: 2.5e7,
+        seed,
+        workload: WorkloadSpec {
+            non_kernel_cycles: 4_000.0,
+            kernels_per_request: 1,
+            granularity: GranularityCdf::from_points(vec![(256.0, 0.4), (1_024.0, 1.0)])
+                .expect("static CDF is valid"),
+            cycles_per_byte: cycles_per_byte(2.0),
+        },
+        offload: Some(OffloadConfig {
+            design: ThreadingDesign::AsyncSameThread,
+            strategy: AccelerationStrategy::Remote,
+            driver: DriverMode::Posted,
+            device: DeviceKind::Shared { servers: 4 },
+            peak_speedup: 4.0,
+            interface_latency: 2_000.0,
+            setup_cycles: 50.0,
+            dispatch_pollution: 0.0,
+            min_offload_bytes: None,
+        }),
+        fault: FaultPlan::none(),
+        recovery: RecoveryPolicy::none(),
+    };
+    let plan = FaultPlan {
+        seed: 7,
+        failure_probability: 0.01,
+        spike_probability: 0.005,
+        spike_cycles: 25_000.0,
+        degradation: vec![DegradationWindow::downtime(8.0e6, 1.1e7)],
+    };
+    let retrying = RecoveryPolicy {
+        max_retries: 3,
+        backoff_base_cycles: 2_000.0,
+        ..RecoveryPolicy::none()
+    };
+    let policies = vec![
+        NamedPolicy {
+            name: "no-recovery".to_owned(),
+            policy: RecoveryPolicy::none(),
+        },
+        NamedPolicy {
+            name: "retry".to_owned(),
+            policy: retrying,
+        },
+        NamedPolicy {
+            name: "retry-fallback".to_owned(),
+            policy: RecoveryPolicy {
+                timeout_cycles: Some(30_000.0),
+                fallback_to_host: true,
+                ..retrying
+            },
+        },
+        NamedPolicy {
+            name: "admission".to_owned(),
+            policy: RecoveryPolicy {
+                shed_backlog_cycles: Some(15_000.0),
+                ..RecoveryPolicy::none()
+            },
+        },
+        NamedPolicy {
+            name: "full".to_owned(),
+            policy: RecoveryPolicy {
+                timeout_cycles: Some(30_000.0),
+                fallback_to_host: true,
+                shed_backlog_cycles: Some(15_000.0),
+                ..retrying
+            },
+        },
+    ];
+    FaultScenario {
+        base,
+        plan,
+        policies,
+        slo_min_p99_ratio: 0.5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome<'a>(report: &'a FaultSweepReport, name: &str) -> &'a PolicyOutcome {
+        report
+            .outcomes
+            .iter()
+            .find(|o| o.policy == name)
+            .expect("policy present")
+    }
+
+    #[test]
+    fn recovery_beats_no_recovery_under_degradation() {
+        let report = run_fault_sweep(&demo_scenario(20_260_806)).expect("valid scenario");
+        let none = outcome(&report, "no-recovery");
+        let recovered = outcome(&report, "retry-fallback");
+        // The acceptance property the golden fixture pins: retries +
+        // fallback strictly improve goodput and the p99 tail.
+        assert!(
+            recovered.goodput_per_gcycle > none.goodput_per_gcycle,
+            "goodput {:.2} vs {:.2}",
+            recovered.goodput_per_gcycle,
+            none.goodput_per_gcycle
+        );
+        assert!(
+            recovered.p99_latency < none.p99_latency,
+            "p99 {:.0} vs {:.0}",
+            recovered.p99_latency,
+            none.p99_latency
+        );
+        // The outage inflates the unprotected tail past the SLO.
+        assert!(!none.slo_met);
+        assert!(report.healthy.latency.p99 > 0.0);
+    }
+
+    #[test]
+    fn report_is_pool_width_invariant() {
+        let scenario = demo_scenario(11);
+        let seq = run_fault_sweep_with(&ExecPool::new(1), &scenario).unwrap();
+        let par = run_fault_sweep_with(&ExecPool::new(8), &scenario).unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn invalid_scenarios_are_rejected_up_front() {
+        let mut scenario = demo_scenario(1);
+        scenario.slo_min_p99_ratio = 0.0;
+        assert!(run_fault_sweep(&scenario).is_err());
+
+        let mut scenario = demo_scenario(1);
+        scenario.plan.failure_probability = 7.0;
+        assert!(run_fault_sweep(&scenario).is_err());
+
+        let mut scenario = demo_scenario(1);
+        scenario.policies[0].policy.timeout_cycles = Some(f64::NAN);
+        assert!(run_fault_sweep(&scenario).is_err());
+    }
+
+    #[test]
+    fn scenario_round_trips_through_json() {
+        let scenario = demo_scenario(20_260_806);
+        let json = serde_json::to_string_pretty(&scenario).expect("serialize");
+        let parsed: FaultScenario = serde_json::from_str(&json).expect("scenario round trip");
+        assert_eq!(parsed, scenario);
+    }
+}

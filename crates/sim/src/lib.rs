@@ -32,6 +32,8 @@
 //!         cycles_per_byte: cycles_per_byte(4.0),
 //!     },
 //!     offload: None,
+//!     fault: Default::default(),
+//!     recovery: Default::default(),
 //! };
 //! let result = run_ab(&control, OffloadConfig::on_chip_sync(8.0));
 //! assert!(result.speedup() > 1.0);
@@ -47,6 +49,9 @@ pub mod casestudy;
 pub mod device;
 pub mod engine;
 mod equeue;
+pub mod error;
+pub mod fault;
+pub mod faultsweep;
 pub mod loadsweep;
 pub mod metrics;
 pub mod parallel;
@@ -55,13 +60,21 @@ pub mod workload;
 
 pub use abtest::{run_ab, AbResult};
 pub use calibrate::{CalibratedKernel, Calibrator};
-pub use casestudy::{simulate, validate_all, validate_all_with, CaseStudyValidation};
+pub use casestudy::{
+    simulate, validate_all, validate_all_with, CaseStudyValidation, CASE_STUDY_NAMES,
+};
 pub use device::{Device, DeviceKind};
+pub use error::SimError;
+pub use fault::{DegradationWindow, FaultPlan, RecoveryPolicy};
+pub use faultsweep::{
+    run_fault_sweep, run_fault_sweep_with, FaultScenario, FaultSweepReport, NamedPolicy,
+    PolicyOutcome,
+};
 pub use loadsweep::{
     concurrency_sweep, concurrency_sweep_with, device_capacity_sweep, device_capacity_sweep_with,
     ConcurrencySweep, LoadPoint,
 };
 pub use engine::{EngineStats, OffloadConfig, SimConfig, Simulator};
-pub use metrics::{LatencyStats, SimMetrics};
+pub use metrics::{FaultMetrics, LatencyStats, SimMetrics};
 pub use parallel::{derive_seed, run_batch, run_replicas, ExecPool};
 pub use time::SimTime;

@@ -140,6 +140,8 @@ mod tests {
                 dispatch_pollution: 0.0,
                 min_offload_bytes: None,
             }),
+            fault: Default::default(),
+            recovery: Default::default(),
         }
     }
 

@@ -147,8 +147,41 @@ fn scatter_digit(src: &[u64], dst: &mut [u64], digit: usize, offsets: &mut [usiz
     }
 }
 
-/// The result of one simulation run.
+/// Fault-injection and recovery counters for one simulation run.
+///
+/// `active` records whether the run had fault injection or recovery
+/// engaged at all; inactive counters are all zero and are omitted from
+/// the serialized [`SimMetrics`] entirely, keeping fault-free output
+/// byte-identical to a build without the subsystem.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultMetrics {
+    /// Whether fault injection / recovery was engaged for the run.
+    pub active: bool,
+    /// Offload attempts that failed by injection.
+    pub injected_failures: u64,
+    /// Offload attempts whose interface hop suffered a latency spike.
+    pub latency_spikes: u64,
+    /// Offload attempts perturbed by a degradation window or spike.
+    pub degraded_offloads: u64,
+    /// Attempts the recovery policy timed out.
+    pub timeouts: u64,
+    /// Retries the recovery policy issued.
+    pub retries: u64,
+    /// Offloads that fell back to host execution after the retry budget.
+    pub fallbacks: u64,
+    /// Offloads shed to the host by admission control before dispatch.
+    pub shed_offloads: u64,
+    /// Offloads abandoned with no result (their requests fail).
+    pub abandoned_offloads: u64,
+    /// Completed requests that carried at least one abandoned offload.
+    pub failed_requests: u64,
+    /// Successfully completed (non-failed) requests per 10⁹ host cycles
+    /// — throughput that actually counts under faults.
+    pub goodput_per_gcycle: f64,
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub struct SimMetrics {
     /// Simulated horizon in cycles.
     pub horizon_cycles: f64,
@@ -172,6 +205,98 @@ pub struct SimMetrics {
     pub device_offloads: u64,
     /// Thread switches the scheduler performed.
     pub thread_switches: u64,
+    /// Fault-injection and recovery counters (all-zero and omitted from
+    /// serialization when the run had no fault subsystem engaged).
+    pub faults: FaultMetrics,
+}
+
+// `SimMetrics` serialization is written by hand (not derived) so the
+// `faults` entry appears only when the subsystem was engaged: the
+// golden-output fixtures pin the fault-free serialized form byte for
+// byte, and a derive would emit the new field unconditionally.
+impl Serialize for SimMetrics {
+    fn to_json_value(&self) -> serde::Value {
+        let mut entries = vec![
+            ("horizon_cycles".to_owned(), self.horizon_cycles.to_json_value()),
+            (
+                "completed_requests".to_owned(),
+                self.completed_requests.to_json_value(),
+            ),
+            (
+                "throughput_per_gcycle".to_owned(),
+                self.throughput_per_gcycle.to_json_value(),
+            ),
+            ("latency".to_owned(), self.latency.to_json_value()),
+            (
+                "core_utilization".to_owned(),
+                self.core_utilization.to_json_value(),
+            ),
+            (
+                "offloads_dispatched".to_owned(),
+                self.offloads_dispatched.to_json_value(),
+            ),
+            (
+                "offloads_suppressed".to_owned(),
+                self.offloads_suppressed.to_json_value(),
+            ),
+            (
+                "mean_queue_delay".to_owned(),
+                self.mean_queue_delay.to_json_value(),
+            ),
+            (
+                "device_utilization".to_owned(),
+                self.device_utilization.to_json_value(),
+            ),
+            (
+                "device_offloads".to_owned(),
+                self.device_offloads.to_json_value(),
+            ),
+            (
+                "thread_switches".to_owned(),
+                self.thread_switches.to_json_value(),
+            ),
+        ];
+        if self.faults.active {
+            entries.push(("faults".to_owned(), self.faults.to_json_value()));
+        }
+        serde::Value::Object(entries)
+    }
+}
+
+impl Deserialize for SimMetrics {
+    fn from_json_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let serde::Value::Object(entries) = v else {
+            return Err(serde::DeError::new("SimMetrics: expected an object"));
+        };
+        fn field<T: Deserialize>(
+            entries: &[(String, serde::Value)],
+            key: &'static str,
+        ) -> Result<T, serde::DeError> {
+            match serde::__field(entries, key) {
+                Some(value) => T::from_json_value(value),
+                None => Err(serde::DeError::new(format!(
+                    "SimMetrics: missing field `{key}`"
+                ))),
+            }
+        }
+        Ok(Self {
+            horizon_cycles: field(entries, "horizon_cycles")?,
+            completed_requests: field(entries, "completed_requests")?,
+            throughput_per_gcycle: field(entries, "throughput_per_gcycle")?,
+            latency: field(entries, "latency")?,
+            core_utilization: field(entries, "core_utilization")?,
+            offloads_dispatched: field(entries, "offloads_dispatched")?,
+            offloads_suppressed: field(entries, "offloads_suppressed")?,
+            mean_queue_delay: field(entries, "mean_queue_delay")?,
+            device_utilization: field(entries, "device_utilization")?,
+            device_offloads: field(entries, "device_offloads")?,
+            thread_switches: field(entries, "thread_switches")?,
+            faults: match serde::__field(entries, "faults") {
+                Some(value) => FaultMetrics::from_json_value(value)?,
+                None => FaultMetrics::default(),
+            },
+        })
+    }
 }
 
 impl SimMetrics {
@@ -286,6 +411,32 @@ mod tests {
         let s = LatencyStats::from_samples(&[]);
         assert_eq!(s.count, 0);
         assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn faults_entry_is_omitted_when_inactive_and_round_trips_when_active() {
+        let inactive = SimMetrics::default();
+        let serde::Value::Object(entries) = inactive.to_json_value() else {
+            panic!("expected an object");
+        };
+        assert!(entries.iter().all(|(k, _)| k != "faults"));
+        let back =
+            SimMetrics::from_json_value(&serde::Value::Object(entries)).expect("round trip");
+        assert_eq!(back, inactive);
+
+        let mut active = SimMetrics::default();
+        active.faults.active = true;
+        active.faults.retries = 3;
+        active.faults.goodput_per_gcycle = 12.5;
+        let value = active.to_json_value();
+        let serde::Value::Object(entries) = &value else {
+            panic!("expected an object");
+        };
+        assert!(entries.iter().any(|(k, _)| k == "faults"));
+        assert_eq!(
+            SimMetrics::from_json_value(&value).expect("round trip"),
+            active
+        );
     }
 
     #[test]

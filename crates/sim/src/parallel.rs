@@ -69,6 +69,8 @@ mod tests {
                 cycles_per_byte: cycles_per_byte(2.0),
             },
             offload: None,
+            fault: Default::default(),
+            recovery: Default::default(),
         }
     }
 

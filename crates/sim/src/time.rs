@@ -43,6 +43,16 @@ impl SimTime {
             other
         }
     }
+
+    /// The earlier of two time points.
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
 }
 
 impl Eq for SimTime {}
@@ -98,6 +108,7 @@ mod tests {
         assert!(b > a);
         assert_eq!(b - a, 50.0);
         assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
         assert_eq!(SimTime::ZERO.cycles(), 0.0);
         let mut c = a;
         c += 1.0;

@@ -47,6 +47,8 @@ fn config(workload: WorkloadSpec, seed: u64, threads_factor: usize) -> SimConfig
         seed,
         workload,
         offload: None,
+        fault: Default::default(),
+        recovery: Default::default(),
     }
 }
 

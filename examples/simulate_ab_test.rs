@@ -75,6 +75,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 7,
         workload,
         offload: None,
+        fault: Default::default(),
+        recovery: Default::default(),
     };
     let offload = OffloadConfig {
         design,

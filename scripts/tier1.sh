@@ -26,6 +26,15 @@ trap 'rm -rf "$out_dir"' EXIT
 ./target/release/tables --jobs 2 table6 > "$out_dir/j2.txt"
 cmp "$out_dir/j1.txt" "$out_dir/j2.txt"
 
+echo "== faults smoke: accelctl faults at widths 1 and 2 must match the committed fixture =="
+./target/release/accelctl --jobs 1 faults > "$out_dir/faults_j1.json"
+./target/release/accelctl --jobs 2 faults > "$out_dir/faults_j2.json"
+cmp "$out_dir/faults_j1.json" "$out_dir/faults_j2.json"
+# The binary appends a trailing newline to the report; the fixture
+# stores the bare JSON string.
+printf '\n' | cat crates/cli/tests/fixtures/golden_faults.json - > "$out_dir/faults_expected.json"
+cmp "$out_dir/faults_expected.json" "$out_dir/faults_j1.json"
+
 if [ "${BENCH_REGRESS:-0}" = "1" ]; then
     echo "== bench regression gate (opt-in) =="
     sh scripts/bench_regress.sh

@@ -52,6 +52,8 @@ fn control(design: ThreadingDesign) -> SimConfig {
         seed: 11,
         workload: workload(),
         offload: None,
+        fault: Default::default(),
+        recovery: Default::default(),
     }
 }
 
