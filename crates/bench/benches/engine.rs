@@ -7,7 +7,7 @@
 //!
 //! `BENCH_engine.json` tracks the BENCHJSON lines this prints, with
 //! before/after numbers for the packed event queue, the request slab,
-//! and the radix-selection percentile path.
+//! and the total-order-key percentile path.
 
 use accelerometer::units::cycles_per_byte;
 use accelerometer::{AccelerationStrategy, DriverMode, GranularityCdf, ThreadingDesign};
@@ -91,6 +91,28 @@ fn bench_events(c: &mut Criterion) {
     group.finish();
 }
 
+/// Tie stress: an on-chip Sync offload issues zero-latency device
+/// completions that tie with host-slice events to the bit, so the event
+/// loop spends its time in multi-event timestamp runs — the worst case
+/// for the run-accounting path.
+fn bench_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/batch");
+    let mut cfg = base_config();
+    cfg.offload = Some(OffloadConfig::on_chip_sync(4.0));
+    let (_, stats) = Simulator::new(cfg.clone()).run_instrumented();
+    assert!(
+        stats.multi_event_batches > 0,
+        "config must exercise multi-event runs"
+    );
+    group.throughput(Throughput::Elements(stats.events_processed));
+    group.bench_with_input(
+        BenchmarkId::new("on_chip_sync", "20M_cycles"),
+        &cfg,
+        |b, cfg| b.iter(|| Simulator::new(black_box(cfg.clone())).run()),
+    );
+    group.finish();
+}
+
 fn bench_load_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine/load_sweep");
     let mut cfg = base_config();
@@ -129,5 +151,11 @@ fn bench_percentiles(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_events, bench_load_sweep, bench_percentiles);
+criterion_group!(
+    benches,
+    bench_events,
+    bench_batch,
+    bench_load_sweep,
+    bench_percentiles
+);
 criterion_main!(benches);

@@ -11,10 +11,12 @@
 //! `BENCH_parallel.json` tracks the BENCHJSON lines this prints.
 
 use accelerometer::units::cycles_per_byte;
-use accelerometer::GranularityCdf;
+use accelerometer::{
+    AccelerationStrategy, DriverMode, GranularityCdf, ThreadingDesign,
+};
 use accelerometer_sim::parallel::{run_batch, ExecPool};
 use accelerometer_sim::workload::WorkloadSpec;
-use accelerometer_sim::SimConfig;
+use accelerometer_sim::{run_sharded, DeviceKind, OffloadConfig, ShardPlan, SimConfig};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -109,5 +111,56 @@ fn bench_pool(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sampler, bench_pool);
+/// One large sharded simulation: a 4-core / 8-thread host over a shared
+/// 4-server device, decomposing into 4 shards. On a single-core runner
+/// the widths tie (the determinism suite is what proves they agree
+/// byte-for-byte); on multi-core hosts the wall-clock win appears at
+/// width >= 2 for free.
+fn sharded_config() -> SimConfig {
+    SimConfig {
+        cores: 4,
+        threads: 8,
+        context_switch_cycles: 300.0,
+        horizon: 8e6,
+        seed: 20_260_807,
+        workload: WorkloadSpec {
+            non_kernel_cycles: 5_000.0,
+            kernels_per_request: 1,
+            granularity: cdf_with_points(64),
+            cycles_per_byte: cycles_per_byte(2.0),
+        },
+        offload: Some(OffloadConfig {
+            design: ThreadingDesign::AsyncSameThread,
+            strategy: AccelerationStrategy::OffChip,
+            driver: DriverMode::Posted,
+            device: DeviceKind::Shared { servers: 4 },
+            peak_speedup: 4.0,
+            interface_latency: 2_000.0,
+            setup_cycles: 50.0,
+            dispatch_pollution: 0.0,
+            min_offload_bytes: None,
+        }),
+        fault: Default::default(),
+        recovery: Default::default(),
+    }
+}
+
+fn bench_sharded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel/shard");
+    let cfg = sharded_config();
+    let plan = ShardPlan::for_config(&cfg);
+    assert_eq!(plan.shards, 4, "bench config must decompose 4-ways");
+    group.throughput(Throughput::Elements(plan.shards as u64));
+    for &width in &[1usize, 2, 4] {
+        let pool = ExecPool::new(width);
+        group.bench_with_input(
+            BenchmarkId::new("run_sharded_4x8M_cycles", width),
+            &cfg,
+            |b, cfg| b.iter(|| run_sharded(&pool, black_box(cfg)).expect("valid config")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampler, bench_pool, bench_sharded);
 criterion_main!(benches);

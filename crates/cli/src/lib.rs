@@ -46,15 +46,22 @@ use accelerometer_fleet::{all_case_studies, profile, ServiceId};
 use accelerometer_profiler::{analyze, to_folded, TraceGenerator};
 use accelerometer_sim::faultsweep::demo_scenario;
 use accelerometer_sim::{
-    run_fault_sweep, simulate, validate_all, FaultScenario, SimError, CASE_STUDY_NAMES,
+    run_fault_sweep, set_default_shards, simulate, validate_all, FaultScenario, SimError,
+    CASE_STUDY_NAMES,
 };
 
 /// Top-level usage text.
-pub const USAGE: &str = "usage: accelctl [--jobs N] <command> [args]
+pub const USAGE: &str = "usage: accelctl [--jobs N] [--shards N] <command> [args]
 global flags:
   --jobs N                        worker threads for independent runs
                                   (default: available parallelism; results
                                   are byte-identical at any N)
+  --shards N                      shard each simulation across worker
+                                  threads (default: off). The shard count
+                                  is derived from the configuration, so
+                                  output is byte-identical at any N >= 1;
+                                  sharded output is a different (documented)
+                                  decomposition than the unsharded engine
 commands:
   estimate <config.json>          evaluate scenarios from a parameter file
   breakeven --cb <c/B> --a <A> [--o0 N] [--l N] [--q N] [--o1 N]
@@ -82,6 +89,7 @@ commands:
 /// arguments, unreadable files, or invalid parameters.
 pub fn run(args: &[String]) -> Result<String, String> {
     let args = apply_jobs_flag(args)?;
+    let args = apply_shards_flag(&args)?;
     let args = args.as_slice();
     let mut it = args.iter().map(String::as_str);
     match it.next() {
@@ -118,6 +126,29 @@ fn apply_jobs_flag(args: &[String]) -> Result<Vec<String>, String> {
         return Err("--jobs expects a positive integer, got 0".to_owned());
     }
     accelerometer::exec::set_default_jobs(jobs);
+    args.drain(i..=i + 1);
+    Ok(args)
+}
+
+/// Strips the global `--shards N` flag, routing every simulation-backed
+/// command through the sharded runner. `N` picks only the worker-thread
+/// width — the shard decomposition itself is derived from each
+/// configuration — so any `N >= 1` produces byte-identical output.
+fn apply_shards_flag(args: &[String]) -> Result<Vec<String>, String> {
+    let mut args = args.to_vec();
+    let Some(i) = args.iter().position(|a| a == "--shards") else {
+        return Ok(args);
+    };
+    let value = args
+        .get(i + 1)
+        .ok_or("--shards requires a value (worker thread count)")?;
+    let shards: usize = value
+        .parse()
+        .map_err(|_| format!("--shards expects a positive integer, got '{value}'"))?;
+    if shards == 0 {
+        return Err("--shards expects a positive integer, got 0".to_owned());
+    }
+    set_default_shards(shards);
     args.drain(i..=i + 1);
     Ok(args)
 }
@@ -433,7 +464,20 @@ fn cmd_slo(args: &[String]) -> Result<String, String> {
 
 #[cfg(test)]
 mod tests {
+    use std::sync::{Mutex, PoisonError};
+
     use super::*;
+
+    /// Serializes tests that mutate or depend on the process-wide
+    /// `--shards` default, so parallel test threads cannot observe each
+    /// other's global state.
+    static SHARDS_GLOBAL: Mutex<()> = Mutex::new(());
+
+    fn lock_shards_global() -> std::sync::MutexGuard<'static, ()> {
+        SHARDS_GLOBAL
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
 
     fn args(list: &[&str]) -> Vec<String> {
         list.iter().map(|s| (*s).to_owned()).collect()
@@ -602,7 +646,26 @@ mod tests {
     }
 
     #[test]
+    fn shards_flag_is_global_and_validated() {
+        let _guard = lock_shards_global();
+        let one = run(&args(&["--shards", "1", "faults"])).unwrap();
+        let four = run(&args(&["--shards", "4", "faults"])).unwrap();
+        set_default_shards(0);
+        assert_eq!(one, four, "faults report must not depend on --shards width");
+        let classic = run(&args(&["faults"])).unwrap();
+        assert_ne!(
+            one, classic,
+            "the demo scenario decomposes into 2 shards, a different run"
+        );
+        // Missing / non-positive values are rejected before dispatch.
+        assert!(run(&args(&["--shards"])).unwrap_err().contains("--shards"));
+        assert!(run(&args(&["--shards", "zero", "help"])).is_err());
+        assert!(run(&args(&["--shards", "0", "help"])).is_err());
+    }
+
+    #[test]
     fn faults_sweep_reports_every_policy() {
+        let _guard = lock_shards_global();
         let out = run(&args(&["faults", "--seed", "11"])).unwrap();
         for policy in ["no-recovery", "retry", "retry-fallback", "admission", "full"] {
             assert!(out.contains(&format!("\"{policy}\"")), "{policy} missing");
@@ -616,6 +679,7 @@ mod tests {
 
     #[test]
     fn faults_config_file_matches_the_builtin_scenario() {
+        let _guard = lock_shards_global();
         let builtin = run(&args(&["faults"])).unwrap();
         let path = concat!(
             env!("CARGO_MANIFEST_DIR"),

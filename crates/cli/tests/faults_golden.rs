@@ -15,9 +15,21 @@
 
 use std::fs;
 use std::path::PathBuf;
+use std::sync::{Mutex, PoisonError};
 
 use accelerometer_cli::run;
 use accelerometer_sim::faultsweep::{demo_scenario, FaultSweepReport};
+
+/// Serializes the tests that touch the process-wide `--shards` default:
+/// the classic golden test must never observe a sharded global left by
+/// the sharded golden test running on a sibling thread.
+static SHARDS_GLOBAL: Mutex<()> = Mutex::new(());
+
+fn lock_shards_global() -> std::sync::MutexGuard<'static, ()> {
+    SHARDS_GLOBAL
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
 
 fn args(list: &[&str]) -> Vec<String> {
     list.iter().map(|s| (*s).to_owned()).collect()
@@ -27,12 +39,17 @@ fn fixture_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden_faults.json")
 }
 
+fn sharded_fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden_faults_sharded.json")
+}
+
 fn config_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../configs/faults-degradation.json")
 }
 
 #[test]
 fn faults_report_matches_golden_fixture_at_any_jobs_width() {
+    let _guard = lock_shards_global();
     let one = run(&args(&["--jobs", "1", "faults"])).expect("faults runs");
     let many = run(&args(&["--jobs", "4", "faults"])).expect("faults runs");
     accelerometer::exec::set_default_jobs(0);
@@ -52,6 +69,54 @@ fn faults_report_matches_golden_fixture_at_any_jobs_width() {
     assert_eq!(
         expected, one,
         "golden faults report drifted; if intentional, regenerate with GOLDEN_BLESS=1"
+    );
+}
+
+#[test]
+fn sharded_faults_report_matches_its_golden_fixture_at_any_width() {
+    let _guard = lock_shards_global();
+    let one = run(&args(&["--shards", "1", "faults"])).expect("faults runs");
+    let four = run(&args(&["--shards", "4", "faults"])).expect("faults runs");
+    accelerometer_sim::set_default_shards(0);
+    let classic = run(&args(&["faults"])).expect("faults runs");
+    assert_eq!(one, four, "sharded faults report must not depend on --shards");
+    assert_ne!(
+        one, classic,
+        "the demo scenario shards 2-ways; sharded output is a distinct run"
+    );
+
+    let path = sharded_fixture_path();
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        fs::write(&path, &one).expect("write sharded fixture");
+        return;
+    }
+    let expected = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {path:?} ({e}); run with GOLDEN_BLESS=1"));
+    assert_eq!(
+        expected, one,
+        "sharded golden faults report drifted; if intentional, regenerate with GOLDEN_BLESS=1"
+    );
+}
+
+#[test]
+fn sharded_fixture_still_shows_recovery_beating_no_recovery() {
+    let report: FaultSweepReport =
+        serde_json::from_str(&fs::read_to_string(sharded_fixture_path()).expect("fixture exists"))
+            .expect("fixture parses");
+    let outcome = |name: &str| {
+        report
+            .outcomes
+            .iter()
+            .find(|o| o.policy == name)
+            .unwrap_or_else(|| panic!("policy {name} in fixture"))
+    };
+    let none = outcome("no-recovery");
+    let recovered = outcome("retry-fallback");
+    assert!(
+        recovered.goodput_per_gcycle > none.goodput_per_gcycle,
+        "goodput {:.2} vs {:.2}",
+        recovered.goodput_per_gcycle,
+        none.goodput_per_gcycle
     );
 }
 

@@ -81,6 +81,107 @@ impl ExecPool {
         self.run(items.len(), |i| f(i, &items[i]))
     }
 
+    /// [`map`](Self::map) with per-worker scratch state: each worker
+    /// materializes its state with `init` once and threads it through
+    /// every job it pulls. Results still land in input order.
+    ///
+    /// This is the allocation-reuse hook for job bodies that would
+    /// otherwise rebuild an expensive structure per job — the sweep
+    /// runners pass a reusable simulation engine as the state. The
+    /// determinism contract sharpens accordingly: `f` must produce a
+    /// result that depends only on the input and index, treating the
+    /// state strictly as a cache (the engine's `reset` guarantees
+    /// exactly that).
+    pub fn map_init<T, S, R, I, F>(&self, items: &[T], init: I, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &T) -> R + Sync,
+    {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.jobs.min(items.len());
+        if workers <= 1 {
+            let mut state = init();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| f(&mut state, i, item))
+                .collect();
+        }
+        let count = items.len();
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let init = &init;
+                let f = &f;
+                scope.spawn(move |_| {
+                    let mut state = init();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        // The receiver outlives every sender in scope.
+                        let _ = tx.send((i, f(&mut state, i, &items[i])));
+                    }
+                });
+            }
+            drop(tx);
+            let mut slots: Vec<Option<R>> = (0..count).map(|_| None).collect();
+            for (i, result) in rx {
+                slots[i] = Some(result);
+            }
+            slots
+                .into_iter()
+                .map(|r| r.expect("every job reports exactly once"))
+                .collect()
+        })
+        .expect("pool workers do not panic")
+    }
+
+    /// Applies `f` to every item in place, fanning contiguous chunks
+    /// out to workers. Each item is visited exactly once with its
+    /// index; because items are disjoint `&mut` borrows and `f` returns
+    /// nothing through the pool, the post-state is identical at any
+    /// worker count as long as `f(i, item)` depends only on `i` and
+    /// `item` — the contract the sharded simulator's epoch barrier
+    /// relies on.
+    pub fn for_each_mut<T, F>(&self, items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let count = items.len();
+        if count == 0 {
+            return;
+        }
+        let workers = self.jobs.min(count);
+        if workers <= 1 {
+            for (i, item) in items.iter_mut().enumerate() {
+                f(i, item);
+            }
+            return;
+        }
+        let chunk = count.div_ceil(workers);
+        crossbeam::thread::scope(|scope| {
+            for (c, chunk_items) in items.chunks_mut(chunk).enumerate() {
+                let f = &f;
+                scope.spawn(move |_| {
+                    for (j, item) in chunk_items.iter_mut().enumerate() {
+                        f(c * chunk + j, item);
+                    }
+                });
+            }
+        })
+        .expect("pool workers do not panic");
+    }
+
     /// Runs `f(0), f(1), …, f(count - 1)` and returns the results in
     /// index order. Workers pull indices from a shared cursor, so
     /// heterogeneous job costs balance dynamically.
@@ -156,6 +257,39 @@ mod tests {
     fn run_passes_each_index_once() {
         let got = ExecPool::new(3).run(17, |i| i);
         assert_eq!(got, (0..17).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_init_reuses_state_and_preserves_order() {
+        let items: Vec<usize> = (0..64).collect();
+        let expected: Vec<usize> = items.iter().map(|&x| x + 1).collect();
+        for jobs in [1, 3, 16] {
+            // The state is a scratch Vec a worker refills per job; the
+            // result must not depend on what earlier jobs left in it.
+            let got = ExecPool::new(jobs).map_init(
+                &items,
+                Vec::<usize>::new,
+                |scratch, _, &x| {
+                    scratch.clear();
+                    scratch.push(x);
+                    scratch[0] + 1
+                },
+            );
+            assert_eq!(got, expected, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn for_each_mut_visits_every_item_once_at_any_width() {
+        for jobs in [1, 2, 5, 64] {
+            let mut items: Vec<usize> = (0..23).collect();
+            ExecPool::new(jobs).for_each_mut(&mut items, |i, item| {
+                assert_eq!(*item, i, "index mismatch at jobs = {jobs}");
+                *item += 100;
+            });
+            let expected: Vec<usize> = (100..123).collect();
+            assert_eq!(items, expected, "jobs = {jobs}");
+        }
     }
 
     #[test]

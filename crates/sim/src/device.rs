@@ -80,6 +80,9 @@ pub struct Device {
     queue_delay_total: f64,
     /// The run's horizon, for busy-time clamping.
     horizon: f64,
+    /// Service cycles dispatched since the last [`take_epoch_service`]
+    /// drain — the sharded engine's per-epoch demand exchange.
+    epoch_service: f64,
 }
 
 impl Device {
@@ -109,6 +112,7 @@ impl Device {
             offloads: 0,
             queue_delay_total: 0.0,
             horizon,
+            epoch_service: 0.0,
         }
     }
 
@@ -163,6 +167,7 @@ impl Device {
         }
         self.offloads += 1;
         self.queue_delay_total += service_start - arrival;
+        self.epoch_service += service;
         Dispatch {
             arrival,
             service_start,
@@ -191,6 +196,46 @@ impl Device {
     #[must_use]
     pub fn offloads(&self) -> u64 {
         self.offloads
+    }
+
+    /// Drains and returns the service cycles dispatched since the last
+    /// drain. The sharded engine publishes this at each epoch boundary
+    /// so sibling shards can account for demand they didn't dispatch
+    /// themselves.
+    pub(crate) fn take_epoch_service(&mut self) -> f64 {
+        std::mem::take(&mut self.epoch_service)
+    }
+
+    /// Pushes every server's next-free time forward by `cycles` — the
+    /// sharded engine's model of occupancy generated by sibling shards
+    /// on the same physical device. A no-op for unlimited devices (no
+    /// servers to occupy).
+    ///
+    /// The advance applies from each server's *current* next-free time,
+    /// so backlog carried into the epoch and foreign demand compose
+    /// additively, in the deterministic shard fold order.
+    pub(crate) fn defer_by(&mut self, cycles: f64) {
+        if cycles <= 0.0 {
+            return;
+        }
+        for t in &mut self.next_free {
+            *t += cycles;
+        }
+    }
+
+    /// Cumulative in-horizon busy cycles (for shard merging).
+    pub(crate) fn busy_cycles(&self) -> f64 {
+        self.busy_cycles
+    }
+
+    /// Cumulative queueing delay in cycles (for shard merging).
+    pub(crate) fn queue_delay_total(&self) -> f64 {
+        self.queue_delay_total
+    }
+
+    /// Number of service units (0 for unlimited devices).
+    pub(crate) fn servers(&self) -> usize {
+        self.next_free.len()
     }
 
     /// Mean queueing delay per offload (the model's empirical `Q`).

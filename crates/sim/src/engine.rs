@@ -17,7 +17,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use crate::device::{Device, DeviceKind};
-use crate::equeue::EventQueue;
+use crate::equeue::{bound_key, pack, unpack_time, EventQueue};
 use crate::error::{ensure, Result};
 use crate::fault::{FaultPlan, FaultState, RecoveryPolicy};
 use crate::metrics::{FaultMetrics, LatencyStats, SimMetrics};
@@ -133,6 +133,40 @@ impl SimConfig {
             self.context_switch_cycles,
             "context switch cost must be finite and non-negative",
         )?;
+        if let Some(o) = &self.offload {
+            ensure(
+                o.peak_speedup.is_finite() && o.peak_speedup > 0.0,
+                "peak_speedup",
+                o.peak_speedup,
+                "peak speedup must be positive",
+            )?;
+            ensure(
+                o.interface_latency.is_finite() && o.interface_latency >= 0.0,
+                "interface_latency",
+                o.interface_latency,
+                "interface latency must be finite and non-negative",
+            )?;
+            ensure(
+                o.setup_cycles.is_finite() && o.setup_cycles >= 0.0,
+                "setup_cycles",
+                o.setup_cycles,
+                "setup cost must be finite and non-negative",
+            )?;
+            ensure(
+                o.dispatch_pollution.is_finite() && o.dispatch_pollution >= 0.0,
+                "dispatch_pollution",
+                o.dispatch_pollution,
+                "dispatch pollution must be finite and non-negative",
+            )?;
+            if let Some(min) = o.min_offload_bytes {
+                ensure(
+                    min.is_finite() && min >= 0.0,
+                    "min_offload_bytes",
+                    min,
+                    "offload threshold must be finite and non-negative",
+                )?;
+            }
+        }
         self.fault.validate()?;
         self.recovery.validate()
     }
@@ -167,6 +201,43 @@ enum ThreadState {
     Blocked,
 }
 
+/// A thread's pending work items: a flat buffer with a consume cursor.
+///
+/// `RequestSampler::draw_into` refills `buf` in place (clearing without
+/// shrinking) and the cursor walks forward, so the common case touches
+/// no ring-buffer wrap arithmetic — `pop_front` is an indexed load plus
+/// an increment. The only front insertion is the Sync-OS wake-up charge,
+/// which lands after at least one item was consumed, so it reuses the
+/// slot just vacated by the cursor instead of shifting the buffer.
+#[derive(Debug, Default)]
+struct WorkQueue {
+    buf: Vec<WorkItem>,
+    head: usize,
+}
+
+impl WorkQueue {
+    #[inline]
+    fn pop_front(&mut self) -> Option<WorkItem> {
+        let item = self.buf.get(self.head).copied();
+        self.head += usize::from(item.is_some());
+        item
+    }
+
+    fn push_front(&mut self, item: WorkItem) {
+        if self.head > 0 {
+            self.head -= 1;
+            self.buf[self.head] = item;
+        } else {
+            self.buf.insert(0, item);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+    }
+}
+
 /// One worker thread. Both queues retain their allocations for the
 /// whole run: `items` is refilled in place by `RequestSampler::draw_into`
 /// (which clears without shrinking), and `pickups` only ever pops what it
@@ -174,9 +245,20 @@ enum ThreadState {
 #[derive(Debug)]
 struct Thread {
     state: ThreadState,
-    items: VecDeque<WorkItem>,
+    items: WorkQueue,
     request: usize,
     pickups: VecDeque<usize>,
+}
+
+impl Default for Thread {
+    fn default() -> Self {
+        Self {
+            state: ThreadState::Ready,
+            items: WorkQueue::default(),
+            request: usize::MAX,
+            pickups: VecDeque::new(),
+        }
+    }
 }
 
 /// Engine-internal counters returned by [`Simulator::run_instrumented`].
@@ -195,20 +277,114 @@ pub struct EngineStats {
     /// high-water mark, which stays O(in-flight) rather than growing
     /// with every request the horizon admits.
     pub peak_live_requests: usize,
+    /// Timestamp runs executed by the batched loop (one per distinct
+    /// event time that reached the loop).
+    pub batch_runs: u64,
+    /// Runs that carried more than one event — the batching win, since
+    /// the loop's `now`/horizon bookkeeping is paid once per run.
+    pub multi_event_batches: u64,
+    /// Entry moves the event heap performed sifting pushes up.
+    pub heap_sift_ups: u64,
+    /// Entry moves the event heap performed sifting pops down.
+    pub heap_sift_downs: u64,
 }
 
-/// Per-request accounting, held in a slab slot only while the request is
-/// live. Completion retires the slot to a free list for the next request
-/// to recycle, so long-horizon memory stays O(in-flight) and the hot
-/// slots stay cache-resident; the old `completed` tombstone flag is gone
-/// because a retired slot simply leaves the slab.
-#[derive(Debug, Clone, Copy)]
-struct RequestState {
-    start: SimTime,
-    outstanding: u32,
-    host_done: bool,
-    failed: bool,
-    completion_lower_bound: SimTime,
+impl EngineStats {
+    /// Fraction of runs that batched more than one event.
+    #[must_use]
+    pub fn batch_hit_rate(&self) -> f64 {
+        if self.batch_runs == 0 {
+            0.0
+        } else {
+            self.multi_event_batches as f64 / self.batch_runs as f64
+        }
+    }
+
+    /// Mean events per timestamp run.
+    #[must_use]
+    pub fn mean_batch_len(&self) -> f64 {
+        if self.batch_runs == 0 {
+            0.0
+        } else {
+            self.events_processed as f64 / self.batch_runs as f64
+        }
+    }
+}
+
+/// Request-slot flag: the host side of the request has finished.
+const HOST_DONE: u8 = 1;
+/// Request-slot flag: some offload belonging to the request failed.
+const FAILED: u8 = 2;
+
+/// Per-request accounting in struct-of-arrays layout, held in a slab
+/// slot only while the request is live. Completion retires the slot to a
+/// free list for the next request to recycle, so long-horizon memory
+/// stays O(in-flight) and the hot slots stay cache-resident.
+///
+/// The arrays are parallel, indexed by slab handle. The layout matters
+/// because the hot operations touch different subsets: offload
+/// completions hit `outstanding`/`flags`/`lower_bound`, the completion
+/// check reads `flags` + `outstanding` and only reaches `start` for the
+/// one request that actually retires — with per-field arrays those
+/// accesses pack 8–16× more live requests per cache line than the old
+/// array-of-structs slab.
+#[derive(Debug, Default)]
+struct RequestSlab {
+    start: Vec<SimTime>,
+    outstanding: Vec<u32>,
+    /// Bit set per slot: [`HOST_DONE`] | [`FAILED`].
+    flags: Vec<u8>,
+    /// Completion cannot precede this time (latest offload completion
+    /// or pickup seen so far).
+    lower_bound: Vec<SimTime>,
+    /// Retired slots awaiting reuse (LIFO keeps them cache-hot).
+    free: Vec<usize>,
+}
+
+impl RequestSlab {
+    fn with_capacity(n: usize) -> Self {
+        Self {
+            start: Vec::with_capacity(n),
+            outstanding: Vec::with_capacity(n),
+            flags: Vec::with_capacity(n),
+            lower_bound: Vec::with_capacity(n),
+            free: Vec::with_capacity(n),
+        }
+    }
+
+    /// Claims a slot for a request starting at `start`, recycling the
+    /// most recently retired slot when one exists.
+    fn alloc(&mut self, start: SimTime) -> usize {
+        match self.free.pop() {
+            Some(slot) => {
+                self.start[slot] = start;
+                self.outstanding[slot] = 0;
+                self.flags[slot] = 0;
+                self.lower_bound[slot] = start;
+                slot
+            }
+            None => {
+                self.start.push(start);
+                self.outstanding.push(0);
+                self.flags.push(0);
+                self.lower_bound.push(start);
+                self.start.len() - 1
+            }
+        }
+    }
+
+    fn retire(&mut self, slot: usize) {
+        self.free.push(slot);
+    }
+
+    /// Empties the slab without releasing any allocation.
+    fn clear(&mut self) {
+        self.start.clear();
+        self.outstanding.clear();
+        self.flags.clear();
+        self.lower_bound.clear();
+        self.free.clear();
+    }
 }
 
 /// The simulator.
@@ -221,6 +397,14 @@ pub struct Simulator {
     now: SimTime,
     seq: u64,
     events: EventQueue<Event>,
+    /// One-slot heap bypass: an event scheduled with a packed key below
+    /// everything pending (heap minimum and any previously held slot) is
+    /// provably the next to fire — sequence numbers are strictly
+    /// increasing, so no later push can order before it. The run loop
+    /// drains this slot before polling the heap, which spares the
+    /// majority of events a sift-up *and* a sift-down: a thread's next
+    /// slice usually starts before any other pending event.
+    next_event: Option<(u128, Event)>,
     threads: Vec<Thread>,
     ready: VecDeque<usize>,
     free_cores: Vec<usize>,
@@ -229,20 +413,26 @@ pub struct Simulator {
     /// Fault-injection state; `None` when both the plan and the policy
     /// are inactive, so the fault-free path stays bit-identical.
     fault: Option<FaultState>,
-    /// Request slab: live request state, indexed by slab handle.
-    requests: Vec<RequestState>,
-    /// Retired slab slots awaiting reuse (LIFO keeps them cache-hot).
-    free_requests: Vec<usize>,
+    /// Request slab: live request state in struct-of-arrays layout.
+    slab: RequestSlab,
     completed: u64,
     completed_failed: u64,
     latencies: Vec<f64>,
+    /// Scratch for the percentile sort, reused across `reset` cycles.
+    lat_keys: Vec<u64>,
     core_busy: f64,
     offloads: u64,
     suppressed: u64,
     switches: u64,
     events_processed: u64,
+    batch_runs: u64,
+    multi_event_batches: u64,
     live_requests: usize,
     peak_live_requests: usize,
+    /// Whether the initial thread-to-core assignment has been made;
+    /// flips on the first [`run_until`](Self::run_until) call so a
+    /// paused engine can resume without re-priming.
+    primed: bool,
 }
 
 impl Simulator {
@@ -284,14 +474,7 @@ impl Simulator {
                 derive_seed(cfg.seed, cfg.fault.seed),
             )
         });
-        let threads = (0..cfg.threads)
-            .map(|_| Thread {
-                state: ThreadState::Ready,
-                items: VecDeque::new(),
-                request: usize::MAX,
-                pickups: VecDeque::new(),
-            })
-            .collect();
+        let threads = (0..cfg.threads).map(|_| Thread::default()).collect();
         let rng = StdRng::seed_from_u64(cfg.seed);
         let sampler = cfg.workload.sampler();
         Ok(Self {
@@ -306,16 +489,18 @@ impl Simulator {
             // the thread count (each thread drives one request, plus a
             // little slack for requests finishing asynchronously) avoids
             // regrowth for most runs.
-            requests: Vec::with_capacity(2 * cfg.threads),
-            free_requests: Vec::with_capacity(2 * cfg.threads),
+            slab: RequestSlab::with_capacity(2 * cfg.threads),
             completed: 0,
             completed_failed: 0,
             latencies: Vec::new(),
+            lat_keys: Vec::new(),
             core_busy: 0.0,
             offloads: 0,
             suppressed: 0,
             switches: 0,
             events_processed: 0,
+            batch_runs: 0,
+            multi_event_batches: 0,
             live_requests: 0,
             peak_live_requests: 0,
             now: SimTime::ZERO,
@@ -323,14 +508,109 @@ impl Simulator {
             // Pending events are bounded by threads plus in-flight
             // offload completions; 2×threads covers both in practice.
             events: EventQueue::with_capacity(2 * cfg.threads + 8),
+            next_event: None,
             rng,
             cfg,
+            primed: false,
         })
     }
 
+    /// Rebuilds the engine for `cfg` while keeping every heap
+    /// allocation acquired so far — the request slab, thread work
+    /// queues, event heap, latency samples, and percentile scratch are
+    /// cleared in place rather than freed. Sweeps (`loadsweep`,
+    /// `faultsweep`) and sharded runs drive many config points through
+    /// one engine this way instead of rebuilding per point.
+    ///
+    /// The reset engine is observationally identical to
+    /// `Simulator::try_new(cfg)` — same RNG stream, same event order,
+    /// bit-identical metrics (pinned by a test below).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SimError::InvalidConfig`] when
+    /// [`SimConfig::validate`] rejects the configuration; the engine is
+    /// left untouched in that case.
+    pub fn reset(&mut self, cfg: SimConfig) -> Result<()> {
+        cfg.validate()?;
+        self.device = cfg
+            .offload
+            .as_ref()
+            .map(|o| Device::new(o.device, o.interface_latency, cfg.cores, cfg.horizon));
+        self.fault = (cfg.fault.is_active() || cfg.recovery.is_active()).then(|| {
+            FaultState::new(
+                cfg.fault.clone(),
+                cfg.recovery,
+                derive_seed(cfg.seed, cfg.fault.seed),
+            )
+        });
+        self.sampler = cfg.workload.sampler();
+        self.rng = StdRng::seed_from_u64(cfg.seed);
+        self.threads.truncate(cfg.threads);
+        for t in &mut self.threads {
+            t.state = ThreadState::Ready;
+            t.items.clear();
+            t.request = usize::MAX;
+            t.pickups.clear();
+        }
+        self.threads
+            .resize_with(cfg.threads, Thread::default);
+        self.ready.clear();
+        self.ready.extend(0..cfg.threads);
+        self.free_cores.clear();
+        self.free_cores.extend((0..cfg.cores).rev());
+        self.core_last_thread.clear();
+        self.core_last_thread.resize(cfg.cores, None);
+        self.slab.clear();
+        self.completed = 0;
+        self.completed_failed = 0;
+        self.latencies.clear();
+        self.core_busy = 0.0;
+        self.offloads = 0;
+        self.suppressed = 0;
+        self.switches = 0;
+        self.events_processed = 0;
+        self.batch_runs = 0;
+        self.multi_event_batches = 0;
+        self.live_requests = 0;
+        self.peak_live_requests = 0;
+        self.now = SimTime::ZERO;
+        self.seq = 0;
+        self.events.clear();
+        self.next_event = None;
+        self.primed = false;
+        self.cfg = cfg;
+        Ok(())
+    }
+
+    /// Schedules `event` at `time`, routing it through the one-slot heap
+    /// bypass when it is provably the next event to fire.
+    ///
+    /// Invariant: the held slot's key is strictly below every heap key.
+    /// A new key below the held key therefore also undercuts the whole
+    /// heap (it takes the slot, the displaced event re-enters the heap
+    /// as its new minimum); a new key at or above the held key cannot be
+    /// next, so it goes straight to the heap.
     fn push_event(&mut self, time: SimTime, event: Event) {
         self.seq += 1;
-        self.events.push(time, self.seq, event);
+        let key = pack(time, self.seq);
+        match self.next_event {
+            None => {
+                if key < self.events.min_key() {
+                    self.next_event = Some((key, event));
+                } else {
+                    self.events.push_key(key, event);
+                }
+            }
+            Some((held_key, held_event)) => {
+                if key < held_key {
+                    self.events.push_key(held_key, held_event);
+                    self.next_event = Some((key, event));
+                } else {
+                    self.events.push_key(key, event);
+                }
+            }
+        }
     }
 
     /// Runs the simulation to the horizon and returns the metrics.
@@ -346,59 +626,149 @@ impl Simulator {
     /// O(in-flight) memory behaviour.
     #[must_use]
     pub fn run_instrumented(mut self) -> (SimMetrics, EngineStats) {
-        self.schedule();
-        while let Some((time, event)) = self.events.pop() {
-            if time.cycles() > self.cfg.horizon {
-                break;
-            }
-            self.events_processed += 1;
+        self.run_instrumented_in_place()
+    }
+
+    /// [`run_instrumented`](Self::run_instrumented) without consuming
+    /// the engine, so a caller holding a reusable simulator can
+    /// [`reset`](Self::reset) it for the next config point. The engine
+    /// must be reset before it is run again.
+    pub fn run_instrumented_in_place(&mut self) -> (SimMetrics, EngineStats) {
+        let horizon = self.cfg.horizon;
+        self.run_until(horizon);
+        self.finish()
+    }
+
+    /// Advances the simulation until the next pending event would be
+    /// later than `until` (events at exactly `until` are processed).
+    /// Idempotent once drained; callable repeatedly with increasing
+    /// bounds — the sharded runner pauses shards at epoch boundaries
+    /// this way.
+    ///
+    /// The four monomorphizations fix the two run-level branches the
+    /// old loop re-tested per event — "is there an accelerator?" and
+    /// "is fault injection live?" — so the overwhelmingly common
+    /// healthy paths carry no fault bookkeeping at all.
+    pub(crate) fn run_until(&mut self, until: f64) {
+        match (self.cfg.offload.is_some(), self.fault.is_some()) {
+            (false, false) => self.advance::<false, false>(until),
+            (false, true) => self.advance::<false, true>(until),
+            (true, false) => self.advance::<true, false>(until),
+            (true, true) => self.advance::<true, true>(until),
+        }
+    }
+
+    /// The event loop. Each iteration takes the next due event either
+    /// from the bypass slot (no heap traffic at all) or from the heap
+    /// with one integer key compare ([`bound_key`] folds the horizon
+    /// check into the heap order); the pop also reports whether more
+    /// events share this exact timestamp, which drives the run
+    /// accounting ([`EngineStats::batch_runs`] and friends) for free.
+    ///
+    /// Same-timestamp runs are processed by consecutive plain pops, not
+    /// by buffering the run up front: sequence numbers are strictly
+    /// increasing, so anything a handler pushes orders *after* every
+    /// event already pending at that timestamp and the pop sequence is
+    /// the exact global `(time, seq)` order either way. (A buffered
+    /// variant — `EventQueue::pop_run` — was measured slower: the
+    /// dominant run length is 2, e.g. Sync's `OffloadDone`/`SliceDone`
+    /// pair, and the buffer swap costs more than the second pop.)
+    /// Bounded peeking leaves beyond-horizon events in the heap, which
+    /// no observable state reads.
+    fn advance<const OFFLOAD: bool, const FAULTY: bool>(&mut self, until: f64) {
+        if !self.primed {
+            self.primed = true;
+            self.schedule::<OFFLOAD, FAULTY>();
+        }
+        let bound = bound_key(until);
+        // True while the previously popped event reported a continuing
+        // same-timestamp run. Runs never straddle `until` (the bound
+        // admits a timestamp wholly or not at all), so this is loop-local.
+        let mut run_continues = false;
+        loop {
+            // The bypass slot, when occupied, holds the globally next
+            // event; only an empty slot falls through to the heap. A
+            // slot beyond the bound implies the whole heap is too
+            // (every heap key is larger), so the loop is done — the
+            // slot is retained for the next `run_until` call.
+            let (time, event, tied) = match self.next_event {
+                Some((key, event)) => {
+                    if key > bound {
+                        break;
+                    }
+                    self.next_event = None;
+                    let tied = self.events.min_key() >> 64 == key >> 64;
+                    (unpack_time(key), event, tied)
+                }
+                None => match self.events.pop_bounded(bound) {
+                    Some(popped) => popped,
+                    None => break,
+                },
+            };
             self.now = time;
-            match event {
-                Event::SliceDone { thread, core } => {
-                    self.step_thread(thread, core, self.now);
+            self.events_processed += 1;
+            if !tied {
+                // This event ends its timestamp run (usually a run of
+                // one: the singleton fast path).
+                self.batch_runs += 1;
+            } else if !run_continues {
+                // First event of a multi-event run.
+                self.multi_event_batches += 1;
+            }
+            run_continues = tied;
+            self.handle_event::<OFFLOAD, FAULTY>(event, time);
+        }
+    }
+
+    /// Dispatches one popped event. Split out of [`advance`](Self::advance)
+    /// so the singleton and batched paths share it; forced inline — it
+    /// IS the loop body, and an outlined call would spill the loop's
+    /// live registers on every event.
+    #[inline(always)]
+    fn handle_event<const OFFLOAD: bool, const FAULTY: bool>(&mut self, event: Event, time: SimTime) {
+        match event {
+            Event::SliceDone { thread, core } => {
+                self.step_thread::<OFFLOAD, FAULTY>(thread, core, time);
+            }
+            Event::DispatchDone { thread, core } => {
+                debug_assert_eq!(self.threads[thread].state, ThreadState::Blocked);
+                self.release_core(core, thread);
+                self.schedule::<OFFLOAD, FAULTY>();
+            }
+            Event::OffloadDone {
+                thread,
+                request,
+                pickup,
+                wakes_thread,
+                failed,
+            } => {
+                self.slab.outstanding[request] -= 1;
+                self.slab.flags[request] |= u8::from(failed) * FAILED;
+                self.slab.lower_bound[request] = self.slab.lower_bound[request].max(time);
+                if pickup {
+                    // A distinct response thread steals cycles from the
+                    // worker's core: inject the o1 pickup work.
+                    self.threads[thread].pickups.push_back(request);
+                    self.slab.outstanding[request] += 1; // held by pickup
+                } else {
+                    self.try_complete(request, time);
                 }
-                Event::DispatchDone { thread, core } => {
-                    debug_assert_eq!(self.threads[thread].state, ThreadState::Blocked);
-                    self.release_core(core, thread);
-                    self.schedule();
-                }
-                Event::OffloadDone {
-                    thread,
-                    request,
-                    pickup,
-                    wakes_thread,
-                    failed,
-                } => {
-                    self.requests[request].outstanding -= 1;
-                    self.requests[request].failed |= failed;
-                    self.requests[request].completion_lower_bound =
-                        self.requests[request].completion_lower_bound.max(self.now);
-                    if pickup {
-                        // A distinct response thread steals cycles from
-                        // the worker's core: inject the o1 pickup work.
-                        self.threads[thread].pickups.push_back(request);
-                        self.requests[request].outstanding += 1; // held by pickup
-                    } else {
-                        self.try_complete(request, self.now);
+                if wakes_thread {
+                    // Waking the blocked thread costs a second o1 on top
+                    // of the scheduler's switch-in charge: the
+                    // interrupt/wakeup path plus the cache state the
+                    // resumed thread must refill (eqn 3's 2·o1).
+                    if self.cfg.context_switch_cycles > 0.0 {
+                        self.threads[thread]
+                            .items
+                            .push_front(WorkItem::Host(self.cfg.context_switch_cycles));
                     }
-                    if wakes_thread {
-                        // Waking the blocked thread costs a second o1 on
-                        // top of the scheduler's switch-in charge: the
-                        // interrupt/wakeup path plus the cache state the
-                        // resumed thread must refill (eqn 3's 2·o1).
-                        if self.cfg.context_switch_cycles > 0.0 {
-                            self.threads[thread]
-                                .items
-                                .push_front(WorkItem::Host(self.cfg.context_switch_cycles));
-                        }
-                        self.threads[thread].state = ThreadState::Ready;
-                        self.ready.push_back(thread);
-                        self.schedule();
-                    }
+                    self.threads[thread].state = ThreadState::Ready;
+                    self.ready.push_back(thread);
+                    self.schedule::<OFFLOAD, FAULTY>();
                 }
             }
         }
-        self.finish()
     }
 
     fn release_core(&mut self, core: usize, last_thread: usize) {
@@ -407,7 +777,7 @@ impl Simulator {
     }
 
     /// Assign ready threads to free cores.
-    fn schedule(&mut self) {
+    fn schedule<const OFFLOAD: bool, const FAULTY: bool>(&mut self) {
         while let (Some(&core), Some(&thread)) = (self.free_cores.last(), self.ready.front()) {
             self.free_cores.pop();
             self.ready.pop_front();
@@ -420,23 +790,31 @@ impl Simulator {
                 self.switches += 1;
             }
             self.threads[thread].state = ThreadState::Running;
-            self.step_thread(thread, core, start);
+            self.step_thread::<OFFLOAD, FAULTY>(thread, core, start);
         }
     }
 
     /// Executes the thread's next action on `core` starting at `start`.
-    fn step_thread(&mut self, thread: usize, core: usize, start: SimTime) {
+    fn step_thread<const OFFLOAD: bool, const FAULTY: bool>(
+        &mut self,
+        thread: usize,
+        core: usize,
+        start: SimTime,
+    ) {
         // Pending response pickups run first (the distinct response
-        // thread preempting the worker's core).
-        if let Some(request) = self.threads[thread].pickups.pop_front() {
-            let end = start + self.cfg.context_switch_cycles;
-            self.core_busy += self.cfg.context_switch_cycles;
-            self.requests[request].outstanding -= 1;
-            self.requests[request].completion_lower_bound =
-                self.requests[request].completion_lower_bound.max(end);
-            self.try_complete(request, end);
-            self.push_event(end, Event::SliceDone { thread, core });
-            return;
+        // thread preempting the worker's core). Only `OffloadDone`
+        // deliveries ever feed `pickups`, so the host-only
+        // specialization drops the check entirely.
+        if OFFLOAD {
+            if let Some(request) = self.threads[thread].pickups.pop_front() {
+                let end = start + self.cfg.context_switch_cycles;
+                self.core_busy += self.cfg.context_switch_cycles;
+                self.slab.outstanding[request] -= 1;
+                self.slab.lower_bound[request] = self.slab.lower_bound[request].max(end);
+                self.try_complete(request, end);
+                self.push_event(end, Event::SliceDone { thread, core });
+                return;
+            }
         }
 
         let item = loop {
@@ -457,17 +835,26 @@ impl Simulator {
                 self.core_busy += cycles;
                 self.push_event(start + cycles, Event::SliceDone { thread, core });
             }
-            WorkItem::Kernel { bytes } => self.execute_kernel(thread, core, start, bytes),
+            WorkItem::Kernel { bytes } => {
+                self.execute_kernel::<OFFLOAD, FAULTY>(thread, core, start, bytes);
+            }
         }
     }
 
-    fn execute_kernel(&mut self, thread: usize, core: usize, start: SimTime, bytes: f64) {
+    fn execute_kernel<const OFFLOAD: bool, const FAULTY: bool>(
+        &mut self,
+        thread: usize,
+        core: usize,
+        start: SimTime,
+        bytes: f64,
+    ) {
         let host_cycles = self.cfg.workload.kernel_host_cycles(bytes);
-        let Some(offload) = self.cfg.offload else {
+        if !OFFLOAD {
             self.core_busy += host_cycles;
             self.push_event(start + host_cycles, Event::SliceDone { thread, core });
             return;
-        };
+        }
+        let offload = self.cfg.offload.expect("OFFLOAD implies a config");
         if let Some(min) = offload.min_offload_bytes {
             if bytes <= min {
                 // Below break-even: execute locally.
@@ -480,14 +867,17 @@ impl Simulator {
 
         // Admission control (recovery policy): when the device's
         // predicted backlog exceeds the shed threshold, execute on the
-        // host instead of joining a collapsing queue.
-        if let (Some(device), Some(fault)) = (self.device.as_ref(), self.fault.as_mut()) {
-            if let Some(limit) = fault.recovery.shed_backlog_cycles {
-                if device.predicted_queue_delay(start, core) > limit {
-                    fault.metrics.shed_offloads += 1;
-                    self.core_busy += host_cycles;
-                    self.push_event(start + host_cycles, Event::SliceDone { thread, core });
-                    return;
+        // host instead of joining a collapsing queue. Compiled out
+        // entirely on the fault-free specialization.
+        if FAULTY {
+            if let (Some(device), Some(fault)) = (self.device.as_ref(), self.fault.as_mut()) {
+                if let Some(limit) = fault.recovery.shed_backlog_cycles {
+                    if device.predicted_queue_delay(start, core) > limit {
+                        fault.metrics.shed_offloads += 1;
+                        self.core_busy += host_cycles;
+                        self.push_event(start + host_cycles, Event::SliceDone { thread, core });
+                        return;
+                    }
                 }
             }
         }
@@ -504,21 +894,27 @@ impl Simulator {
         // Under faults the single dispatch becomes a saga (retries,
         // backoff, timeout, fallback); `done` and `service_start` keep
         // their healthy-path meanings so the engagement rules below are
-        // untouched. The fault-free arm is the exact original path.
-        let (done, service_start, failed, fallback_host_cycles) = match self.fault.as_mut() {
-            Some(fault) => {
-                let saga = fault.offload_saga(device, issue, core, service, host_cycles);
-                (
-                    saga.done,
-                    saga.engaged_ref,
-                    saga.abandoned,
-                    saga.fallback_host_cycles,
-                )
+        // untouched. The fault-free arm is the exact original path, and
+        // the `FAULTY = false` specialization contains only that arm.
+        let (done, service_start, failed, fallback_host_cycles) = if FAULTY {
+            match self.fault.as_mut() {
+                Some(fault) => {
+                    let saga = fault.offload_saga(device, issue, core, service, host_cycles);
+                    (
+                        saga.done,
+                        saga.engaged_ref,
+                        saga.abandoned,
+                        saga.fallback_host_cycles,
+                    )
+                }
+                None => {
+                    let dispatch = device.dispatch(issue, core, service);
+                    (dispatch.done, dispatch.service_start, false, 0.0)
+                }
             }
-            None => {
-                let dispatch = device.dispatch(issue, core, service);
-                (dispatch.done, dispatch.service_start, false, 0.0)
-            }
+        } else {
+            let dispatch = device.dispatch(issue, core, service);
+            (dispatch.done, dispatch.service_start, false, 0.0)
         };
         let request = self.threads[thread].request;
 
@@ -545,7 +941,7 @@ impl Simulator {
                 // Core held for the whole round trip (Fig. 12).
                 let held = done - start;
                 self.core_busy += held;
-                self.requests[request].outstanding += 1;
+                self.slab.outstanding[request] += 1;
                 self.push_event(
                     done,
                     Event::OffloadDone {
@@ -564,7 +960,7 @@ impl Simulator {
                 let engaged_until = transfer_engaged.max(start);
                 self.core_busy += engaged_until - start;
                 self.threads[thread].state = ThreadState::Blocked;
-                self.requests[request].outstanding += 1;
+                self.slab.outstanding[request] += 1;
                 self.push_event(engaged_until, Event::DispatchDone { thread, core });
                 self.push_event(
                     done.max(engaged_until),
@@ -584,7 +980,7 @@ impl Simulator {
                 // (Fig. 14).
                 let engaged_until = transfer_engaged.max(start);
                 self.core_busy += engaged_until - start;
-                self.requests[request].outstanding += 1;
+                self.slab.outstanding[request] += 1;
                 let pickup = offload.design == ThreadingDesign::AsyncDistinctThread;
                 let track_completion = offload.design != ThreadingDesign::AsyncNoResponse
                     || offload.strategy != AccelerationStrategy::Remote;
@@ -603,8 +999,8 @@ impl Simulator {
                     // Remote fire-and-forget: the response never returns
                     // to this microservice, but an abandoned offload
                     // still fails the request.
-                    self.requests[request].outstanding -= 1;
-                    self.requests[request].failed |= failed;
+                    self.slab.outstanding[request] -= 1;
+                    self.slab.flags[request] |= u8::from(failed) * FAILED;
                 }
                 self.push_event(engaged_until, Event::SliceDone { thread, core });
             }
@@ -612,37 +1008,22 @@ impl Simulator {
     }
 
     fn begin_request(&mut self, thread: usize, start: SimTime) {
-        let state = RequestState {
-            start,
-            outstanding: 0,
-            host_done: false,
-            failed: false,
-            completion_lower_bound: start,
-        };
-        // Recycle the most recently retired slab slot (it is the most
-        // likely to still be in cache); grow only when every slot holds
-        // a live request.
-        let request = match self.free_requests.pop() {
-            Some(slot) => {
-                self.requests[slot] = state;
-                slot
-            }
-            None => {
-                self.requests.push(state);
-                self.requests.len() - 1
-            }
-        };
+        let request = self.slab.alloc(start);
         self.live_requests += 1;
         self.peak_live_requests = self.peak_live_requests.max(self.live_requests);
         // Draw directly into the thread's (drained) item buffer so its
         // allocation is reused request after request. Disjoint field
         // borrows keep the sampler, RNG, and buffer independent.
-        RequestSampler::draw_into(
-            &self.sampler,
-            &mut self.rng,
-            &mut self.threads[thread].items,
-        );
-        self.threads[thread].request = request;
+        let Self {
+            ref sampler,
+            ref mut rng,
+            ref mut threads,
+            ..
+        } = *self;
+        let queue = &mut threads[thread].items;
+        queue.head = 0;
+        sampler.draw_into(rng, &mut queue.buf);
+        threads[thread].request = request;
     }
 
     fn finish_host_side(&mut self, thread: usize, at: SimTime) {
@@ -650,30 +1031,28 @@ impl Simulator {
         if request == usize::MAX {
             return; // first request of this thread
         }
-        let state = &mut self.requests[request];
-        state.host_done = true;
-        state.completion_lower_bound = state.completion_lower_bound.max(at);
+        self.slab.flags[request] |= HOST_DONE;
+        self.slab.lower_bound[request] = self.slab.lower_bound[request].max(at);
         self.try_complete(request, at);
     }
 
     fn try_complete(&mut self, request: usize, at: SimTime) {
-        let state = &self.requests[request];
-        if !state.host_done || state.outstanding > 0 {
+        if self.slab.flags[request] & HOST_DONE == 0 || self.slab.outstanding[request] > 0 {
             return;
         }
         // A request completes exactly once: every caller either just
         // decremented `outstanding` (impossible once it reached zero
         // here) or just set `host_done` (set once per request), so no
         // call can observe this state again before the slot is reused.
-        let end = state.completion_lower_bound.max(at);
+        let end = self.slab.lower_bound[request].max(at);
         self.completed += 1;
-        self.completed_failed += u64::from(state.failed);
+        self.completed_failed += u64::from(self.slab.flags[request] & FAILED != 0);
         self.live_requests -= 1;
-        self.latencies.push(end - state.start);
-        self.free_requests.push(request);
+        self.latencies.push(end - self.slab.start[request]);
+        self.slab.retire(request);
     }
 
-    fn finish(self) -> (SimMetrics, EngineStats) {
+    fn finish(&mut self) -> (SimMetrics, EngineStats) {
         let horizon = self.cfg.horizon;
         let (mean_queue_delay, device_utilization, device_offloads) = self
             .device
@@ -691,7 +1070,7 @@ impl Simulator {
             horizon_cycles: horizon,
             completed_requests: self.completed,
             throughput_per_gcycle: self.completed as f64 / horizon * 1e9,
-            latency: LatencyStats::from_samples_owned(self.latencies),
+            latency: LatencyStats::from_samples_scratch(&self.latencies, &mut self.lat_keys),
             core_utilization: self.core_busy / (self.cfg.cores as f64 * horizon),
             offloads_dispatched: self.offloads,
             offloads_suppressed: self.suppressed,
@@ -705,9 +1084,94 @@ impl Simulator {
             events_processed: self.events_processed,
             events_scheduled: self.seq,
             peak_live_requests: self.peak_live_requests,
+            batch_runs: self.batch_runs,
+            multi_event_batches: self.multi_event_batches,
+            heap_sift_ups: self.events.sift_ups(),
+            heap_sift_downs: self.events.sift_downs(),
         };
         (metrics, stats)
     }
+
+    /// Drains the service demand the device accumulated since the last
+    /// drain (0 without a device) — the sharded runner's per-epoch
+    /// exchange payload.
+    pub(crate) fn take_epoch_service(&mut self) -> f64 {
+        self.device.as_mut().map_or(0.0, Device::take_epoch_service)
+    }
+
+    /// Occupies the device with `cycles` of foreign demand (demand
+    /// dispatched by sibling shards on the same physical device).
+    pub(crate) fn defer_device(&mut self, cycles: f64) {
+        if let Some(d) = &mut self.device {
+            d.defer_by(cycles);
+        }
+    }
+
+    /// Number of device service units this engine models (0 without a
+    /// device, or for an unlimited one).
+    pub(crate) fn device_servers(&self) -> usize {
+        self.device.as_ref().map_or(0, Device::servers)
+    }
+
+    /// Tears the engine down into the raw accumulators a shard merge
+    /// needs. Only meaningful after the run reached the horizon.
+    pub(crate) fn into_shard_output(self) -> ShardOutput {
+        let stats = EngineStats {
+            events_processed: self.events_processed,
+            events_scheduled: self.seq,
+            peak_live_requests: self.peak_live_requests,
+            batch_runs: self.batch_runs,
+            multi_event_batches: self.multi_event_batches,
+            heap_sift_ups: self.events.sift_ups(),
+            heap_sift_downs: self.events.sift_downs(),
+        };
+        let (device_busy, device_queue_delay_total, device_offloads, device_servers) = self
+            .device
+            .as_ref()
+            .map_or((0.0, 0.0, 0, 0), |d| {
+                (
+                    d.busy_cycles(),
+                    d.queue_delay_total(),
+                    d.offloads(),
+                    d.servers(),
+                )
+            });
+        ShardOutput {
+            completed: self.completed,
+            completed_failed: self.completed_failed,
+            latencies: self.latencies,
+            core_busy: self.core_busy,
+            offloads: self.offloads,
+            suppressed: self.suppressed,
+            switches: self.switches,
+            stats,
+            device_busy,
+            device_queue_delay_total,
+            device_offloads,
+            device_servers,
+            faults: self.fault.map(|f| f.metrics),
+        }
+    }
+}
+
+/// One shard's raw accumulators, before any cross-shard folding — the
+/// sharded runner merges these in shard-index order so the result is
+/// independent of worker-pool width.
+#[derive(Debug)]
+pub(crate) struct ShardOutput {
+    pub completed: u64,
+    pub completed_failed: u64,
+    pub latencies: Vec<f64>,
+    pub core_busy: f64,
+    pub offloads: u64,
+    pub suppressed: u64,
+    pub switches: u64,
+    pub stats: EngineStats,
+    pub device_busy: f64,
+    pub device_queue_delay_total: f64,
+    pub device_offloads: u64,
+    pub device_servers: usize,
+    pub faults: Option<FaultMetrics>,
 }
 
 #[cfg(test)]
@@ -1094,6 +1558,109 @@ mod tests {
             degraded.latency.p99,
             healthy.latency.p99
         );
+    }
+
+    #[test]
+    fn reset_engine_is_bit_identical_to_fresh() {
+        // Drive one engine through several dissimilar config points
+        // (baseline → faulty offload → different shape) and compare
+        // every run against a fresh simulator: the reset path must
+        // reproduce the fresh path bit for bit, including the fault
+        // RNG stream and the EngineStats counters.
+        let mut faulty = base_config();
+        faulty.offload = Some(faulty_offload());
+        faulty.context_switch_cycles = 400.0;
+        faulty.fault = FaultPlan {
+            failure_probability: 0.02,
+            ..FaultPlan::none()
+        };
+        faulty.recovery = RecoveryPolicy {
+            max_retries: 2,
+            backoff_base_cycles: 1_000.0,
+            fallback_to_host: true,
+            ..RecoveryPolicy::none()
+        };
+        let mut reshaped = base_config();
+        reshaped.cores = 2;
+        reshaped.threads = 6;
+        reshaped.seed = 99;
+        reshaped.offload = Some(OffloadConfig {
+            design: ThreadingDesign::SyncOs,
+            ..faulty_offload()
+        });
+        reshaped.context_switch_cycles = 250.0;
+
+        let mut engine = Simulator::new(base_config());
+        for cfg in [base_config(), faulty, reshaped, base_config()] {
+            engine.reset(cfg.clone()).expect("valid config");
+            let (metrics, stats) = engine.run_instrumented_in_place();
+            let (fresh_metrics, fresh_stats) = Simulator::new(cfg).run_instrumented();
+            assert_eq!(metrics, fresh_metrics);
+            assert_eq!(stats, fresh_stats);
+        }
+    }
+
+    #[test]
+    fn run_until_pauses_and_resumes_bit_exactly() {
+        let mut cfg = base_config();
+        cfg.offload = Some(faulty_offload());
+        cfg.fault = FaultPlan {
+            failure_probability: 0.03,
+            ..FaultPlan::none()
+        };
+        let one_shot = Simulator::new(cfg.clone()).run_instrumented();
+        let mut paused = Simulator::new(cfg.clone());
+        // Resume across many arbitrary epoch boundaries, including
+        // repeats (idempotent once drained up to the bound).
+        let h = cfg.horizon;
+        for bound in [0.1, 0.25, 0.25, 0.5, 0.8, 0.99, 1.0] {
+            paused.run_until(h * bound);
+        }
+        let split = paused.run_instrumented_in_place();
+        assert_eq!(one_shot, split);
+    }
+
+    #[test]
+    fn batching_stats_are_reported() {
+        let mut cfg = base_config();
+        cfg.offload = Some(faulty_offload());
+        let (_, stats) = Simulator::new(cfg).run_instrumented();
+        assert!(stats.batch_runs > 0);
+        assert!(stats.batch_runs <= stats.events_processed);
+        assert!(stats.mean_batch_len() >= 1.0);
+        assert!(stats.heap_sift_ups + stats.heap_sift_downs > 0);
+        assert!((0.0..=1.0).contains(&stats.batch_hit_rate()));
+        // Sync completions schedule OffloadDone and SliceDone at the
+        // same instant, so this workload must actually batch.
+        let mut sync_cfg = base_config();
+        sync_cfg.offload = Some(OffloadConfig::on_chip_sync(4.0));
+        let (_, sync_stats) = Simulator::new(sync_cfg).run_instrumented();
+        assert!(sync_stats.multi_event_batches > 0);
+        assert!(sync_stats.mean_batch_len() > 1.0);
+    }
+
+    #[test]
+    fn degenerate_offload_configs_are_rejected() {
+        // With `SimTime` arithmetic checks compiled out of release
+        // builds, negative durations must be rejected at validation.
+        type Poison = fn(&mut OffloadConfig);
+        let cases: [(&str, Poison); 5] = [
+            ("peak speedup", |o| o.peak_speedup = 0.0),
+            ("interface latency", |o| o.interface_latency = -1.0),
+            ("setup cost", |o| o.setup_cycles = f64::NAN),
+            ("dispatch pollution", |o| o.dispatch_pollution = -0.5),
+            ("offload threshold", |o| {
+                o.min_offload_bytes = Some(f64::INFINITY);
+            }),
+        ];
+        for (what, poison) in cases {
+            let mut cfg = base_config();
+            let mut offload = faulty_offload();
+            poison(&mut offload);
+            cfg.offload = Some(offload);
+            let err = expect_invalid(cfg);
+            assert!(err.to_string().contains(what), "{what}: {err}");
+        }
     }
 
     #[test]

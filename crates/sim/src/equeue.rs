@@ -39,15 +39,28 @@ struct Entry<E> {
 }
 
 #[inline]
-fn pack(time: SimTime, seq: u64) -> u128 {
+pub(crate) fn pack(time: SimTime, seq: u64) -> u128 {
     // Monotone for the non-negative, non-NaN times `SimTime` admits.
     (u128::from(time.cycles().to_bits()) << 64) | u128::from(seq)
 }
 
 #[inline]
-fn unpack_time(key: u128) -> SimTime {
-    // Exact inverse of `pack`'s time half; the bits are untouched.
-    SimTime::new(f64::from_bits((key >> 64) as u64))
+pub(crate) fn unpack_time(key: u128) -> SimTime {
+    // Exact inverse of `pack`'s time half; the bits are untouched, and
+    // they came from a validated `SimTime`, so the debug-checked
+    // constructor suffices.
+    SimTime::from_raw(f64::from_bits((key >> 64) as u64))
+}
+
+/// The largest key an inclusive time bound admits: an event is due at
+/// `time <= until` exactly when its key is `<= bound_key(until)`. Sound
+/// for the same reason `pack` is monotone — non-negative times order by
+/// bit pattern — while `u64::MAX` in the low half admits every sequence
+/// number at the bound itself. This turns the engine's per-event
+/// "unpack, then compare times as floats" into one integer compare.
+#[inline]
+pub(crate) fn bound_key(until: f64) -> u128 {
+    (u128::from(until.to_bits()) << 64) | u128::from(u64::MAX)
 }
 
 /// A min-heap of `(time, seq)`-keyed events, popped in exactly the order
@@ -55,6 +68,10 @@ fn unpack_time(key: u128) -> SimTime {
 #[derive(Debug)]
 pub(crate) struct EventQueue<E> {
     heap: Vec<Entry<E>>,
+    /// Entry moves performed by `push` sift-ups (instrumentation).
+    sift_ups: u64,
+    /// Entry moves performed by `pop` sift-downs (instrumentation).
+    sift_downs: u64,
 }
 
 impl<E: Copy> EventQueue<E> {
@@ -62,7 +79,34 @@ impl<E: Copy> EventQueue<E> {
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
             heap: Vec::with_capacity(capacity),
+            sift_ups: 0,
+            sift_downs: 0,
         }
+    }
+
+    /// Drops all pending events and zeroes the sift counters, keeping
+    /// the heap's allocation for the next run — a cleared queue is
+    /// indistinguishable from a freshly built one.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.sift_ups = 0;
+        self.sift_downs = 0;
+    }
+
+    /// Entry moves performed by sift-ups since construction.
+    pub fn sift_ups(&self) -> u64 {
+        self.sift_ups
+    }
+
+    /// Entry moves performed by sift-downs since construction.
+    pub fn sift_downs(&self) -> u64 {
+        self.sift_downs
+    }
+
+    /// The earliest pending time, without removing anything.
+    #[cfg(test)]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.first().map(|e| unpack_time(e.key))
     }
 
     /// Number of pending events.
@@ -71,16 +115,33 @@ impl<E: Copy> EventQueue<E> {
         self.heap.len()
     }
 
+    /// The smallest pending key, or `u128::MAX` on an empty queue. The
+    /// sentinel's time half is the all-ones (NaN) bit pattern, which no
+    /// valid [`SimTime`] produces, so it can never falsely tie a real
+    /// event's timestamp.
+    #[inline]
+    pub fn min_key(&self) -> u128 {
+        self.heap.first().map_or(u128::MAX, |e| e.key)
+    }
+
     /// Schedules `event` at `time` with tie-break sequence `seq`.
     ///
     /// `seq` must be unique across the queue's lifetime (the engine
     /// passes a strictly increasing counter); equal times then pop in
-    /// insertion order.
+    /// insertion order. The engine itself packs keys up front (its
+    /// bypass slot compares them before any heap traffic) and pushes
+    /// through [`push_key`](Self::push_key); this form remains for the
+    /// queue's own tests.
+    #[cfg(test)]
     pub fn push(&mut self, time: SimTime, seq: u64, event: E) {
-        let entry = Entry {
-            key: pack(time, seq),
-            event,
-        };
+        self.push_key(pack(time, seq), event);
+    }
+
+    /// [`push`](Self::push) with a pre-packed key — the engine's bypass
+    /// slot holds packed keys and re-inserts displaced ones directly.
+    #[inline]
+    pub fn push_key(&mut self, key: u128, event: E) {
+        let entry = Entry { key, event };
         // Sift up with a hole: move parents down until the new key fits.
         let mut hole = self.heap.len();
         self.heap.push(entry);
@@ -90,15 +151,49 @@ impl<E: Copy> EventQueue<E> {
                 break;
             }
             self.heap[hole] = self.heap[parent];
+            self.sift_ups += 1;
             hole = parent;
         }
         self.heap[hole] = entry;
     }
 
     /// Removes and returns the earliest event (smallest time, then
-    /// smallest sequence number).
+    /// smallest sequence number). The engine pops through
+    /// [`pop_bounded`](Self::pop_bounded) instead, which folds the
+    /// horizon check in; the unbounded form remains the test-side
+    /// reference primitive.
+    #[cfg(test)]
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let top = *self.heap.first()?;
+        self.remove_top();
+        Some((unpack_time(top.key), top.event))
+    }
+
+    /// Removes and returns the earliest event if it is due within a
+    /// [`bound_key`] bound, plus whether the *next* pending event shares
+    /// this one's exact timestamp — i.e. whether a same-timestamp run
+    /// continues. One call replaces the engine's old peek / bounds-check
+    /// / pop sequence; the run flag costs a single extra compare against
+    /// the root the sift-down just wrote and drives the engine's run
+    /// accounting for free.
+    #[inline]
+    pub fn pop_bounded(&mut self, bound: u128) -> Option<(SimTime, E, bool)> {
+        let top = *self.heap.first()?;
+        if top.key > bound {
+            return None;
+        }
+        self.remove_top();
+        let tied = match self.heap.first() {
+            Some(next) => next.key >> 64 == top.key >> 64,
+            None => false,
+        };
+        Some((unpack_time(top.key), top.event, tied))
+    }
+
+    /// Removes the root entry, sifting the displaced last entry down.
+    /// The heap must be non-empty.
+    #[inline]
+    fn remove_top(&mut self) {
         let last = self.heap.pop().expect("non-empty heap has a last entry");
         if !self.heap.is_empty() {
             // Sift the displaced last entry down from the root hole.
@@ -123,11 +218,45 @@ impl<E: Copy> EventQueue<E> {
                     break;
                 }
                 self.heap[hole] = self.heap[min_child];
+                self.sift_downs += 1;
                 hole = min_child;
             }
             self.heap[hole] = last;
         }
-        Some((unpack_time(top.key), top.event))
+    }
+
+    /// Removes the earliest event *and* every later event sharing its
+    /// exact timestamp, appending their payloads to `out` (cleared
+    /// first) in pop order. Returns the run's shared time.
+    ///
+    /// The run boundary compares raw time bits, so "same timestamp"
+    /// means bit-identical `f64` — exactly the times that would pop
+    /// back-to-back with only the sequence number breaking the tie.
+    /// Because every buffered event carries a lower sequence number than
+    /// anything pushed while the run is processed, handling the buffer
+    /// before re-polling the heap preserves the global `(time, seq)`
+    /// order exactly.
+    ///
+    /// The engine no longer calls this: its loop consumes runs through
+    /// consecutive [`pop_bounded`](Self::pop_bounded) calls, which
+    /// measured faster for the run length that dominates real schedules
+    /// (two — e.g. Sync's `OffloadDone`/`SliceDone` pair). The batched
+    /// drain survives under `cfg(test)` as the specification the
+    /// property tests pin the heap's tie grouping against.
+    #[cfg(test)]
+    pub fn pop_run(&mut self, out: &mut Vec<E>) -> Option<SimTime> {
+        out.clear();
+        let first_key = self.heap.first()?.key;
+        let time_bits = first_key >> 64;
+        loop {
+            let (_, event) = self.pop().expect("heap has the peeked entry");
+            out.push(event);
+            match self.heap.first() {
+                Some(next) if next.key >> 64 == time_bits => {}
+                _ => break,
+            }
+        }
+        Some(unpack_time(first_key))
     }
 }
 
@@ -182,6 +311,10 @@ mod reference {
                 .pop()
                 .map(|Reverse(e)| (e.time, e.seq, e.event))
         }
+
+        pub fn peek_time(&self) -> Option<SimTime> {
+            self.events.peek().map(|Reverse(e)| e.time)
+        }
     }
 }
 
@@ -233,6 +366,42 @@ mod tests {
         assert_eq!(q.len(), 0);
     }
 
+    #[test]
+    fn pop_run_groups_exact_time_ties_in_seq_order() {
+        let mut q = EventQueue::with_capacity(8);
+        q.push(SimTime::new(10.0), 1, "a");
+        q.push(SimTime::new(20.0), 2, "x");
+        q.push(SimTime::new(10.0), 3, "b");
+        q.push(SimTime::new(10.0), 4, "c");
+        let mut run = Vec::new();
+        let t = q.pop_run(&mut run).expect("events pending");
+        assert_eq!(t, SimTime::new(10.0));
+        assert_eq!(run, vec!["a", "b", "c"]);
+        let t = q.pop_run(&mut run).expect("one event left");
+        assert_eq!(t, SimTime::new(20.0));
+        assert_eq!(run, vec!["x"]);
+        assert!(q.pop_run(&mut run).is_none());
+        assert!(run.is_empty());
+    }
+
+    #[test]
+    fn clear_resets_to_a_fresh_queue() {
+        let mut q = EventQueue::with_capacity(8);
+        for i in 0..32u64 {
+            q.push(SimTime::new(f64::from(64 - i as u32)), i + 1, i);
+        }
+        assert!(q.sift_ups() > 0);
+        let _ = q.pop();
+        assert!(q.sift_downs() > 0);
+        assert_eq!(q.peek_time(), Some(SimTime::new(34.0)));
+        q.clear();
+        assert_eq!(q.len(), 0);
+        assert!(q.peek_time().is_none());
+        assert!(q.pop().is_none());
+        assert_eq!(q.sift_ups(), 0);
+        assert_eq!(q.sift_downs(), 0);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -272,6 +441,45 @@ mod tests {
                     break;
                 }
             }
+        }
+
+        /// Draining through `pop_run` yields the reference heap's exact
+        /// pop sequence, and each run is a *maximal* group of one shared
+        /// timestamp.
+        #[test]
+        fn pop_run_matches_reference_binary_heap(
+            times in prop::collection::vec(0u32..20, 1..200),
+            fractional in prop::collection::vec(0.0..1.0f64, 1..200),
+        ) {
+            let mut packed = EventQueue::with_capacity(16);
+            let mut reference = ReferenceQueue::default();
+            let n = times.len().min(fractional.len());
+            for i in 0..n {
+                // A coarse grid forces many multi-event runs.
+                let time = SimTime::new(
+                    f64::from(times[i]) + if i % 5 == 0 { fractional[i] } else { 0.0 },
+                );
+                let seq = i as u64 + 1;
+                packed.push(time, seq, seq);
+                reference.push(time, seq, seq);
+            }
+            let mut run = Vec::new();
+            while let Some(run_time) = packed.pop_run(&mut run) {
+                prop_assert!(!run.is_empty());
+                for &event in &run {
+                    let (want_time, _, want_event) =
+                        reference.pop().expect("reference has the same events");
+                    prop_assert_eq!(run_time, want_time);
+                    prop_assert_eq!(event, want_event);
+                }
+                // Maximality: the next reference event (if any) has a
+                // strictly later timestamp.
+                prop_assert_eq!(packed.peek_time(), reference.peek_time());
+                if let Some(next) = packed.peek_time() {
+                    prop_assert!(next > run_time);
+                }
+            }
+            prop_assert!(reference.pop().is_none());
         }
     }
 }

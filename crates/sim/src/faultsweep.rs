@@ -12,11 +12,12 @@
 use accelerometer::LatencySlo;
 use serde::{Deserialize, Serialize};
 
-use crate::engine::{OffloadConfig, SimConfig, Simulator};
+use crate::engine::{OffloadConfig, SimConfig};
 use crate::error::{ensure, Result};
 use crate::fault::{DegradationWindow, FaultPlan, RecoveryPolicy};
 use crate::metrics::SimMetrics;
 use crate::parallel::ExecPool;
+use crate::shard::run_point;
 
 /// A recovery policy with a human-readable name for the report.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -117,7 +118,7 @@ pub fn run_fault_sweep_with(pool: &ExecPool, scenario: &FaultScenario) -> Result
         cfg.validate()?;
     }
 
-    let mut results = pool.map(&configs, |_, cfg| Simulator::new(cfg.clone()).run());
+    let mut results = pool.map_init(&configs, || None, |slot, _, cfg| run_point(slot, cfg));
     let healthy = results.remove(0);
     let outcomes = scenario
         .policies

@@ -55,6 +55,7 @@ pub mod faultsweep;
 pub mod loadsweep;
 pub mod metrics;
 pub mod parallel;
+pub mod shard;
 pub mod time;
 pub mod workload;
 
@@ -77,4 +78,8 @@ pub use loadsweep::{
 pub use engine::{EngineStats, OffloadConfig, SimConfig, Simulator};
 pub use metrics::{FaultMetrics, LatencyStats, SimMetrics};
 pub use parallel::{derive_seed, run_batch, run_replicas, ExecPool};
+pub use shard::{
+    default_shards, run_sharded, run_sharded_instrumented, set_default_shards, ShardPlan,
+    ShardStats,
+};
 pub use time::SimTime;

@@ -5,9 +5,10 @@
 use serde::{Deserialize, Serialize};
 
 use crate::device::DeviceKind;
-use crate::engine::{SimConfig, Simulator};
+use crate::engine::SimConfig;
 use crate::metrics::SimMetrics;
 use crate::parallel::ExecPool;
+use crate::shard::run_point;
 
 /// One point of a load sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -43,14 +44,18 @@ pub fn concurrency_sweep_with(
 ) -> ConcurrencySweep {
     let (runnable, skipped): (Vec<usize>, Vec<usize>) =
         thread_counts.iter().partition(|&&t| t >= base.cores);
-    let points = pool.map(&runnable, |_, &threads| {
-        let mut cfg = base.clone();
-        cfg.threads = threads;
-        LoadPoint {
-            x: threads,
-            metrics: Simulator::new(cfg).run(),
-        }
-    });
+    let points = pool.map_init(
+        &runnable,
+        || None,
+        |slot, _, &threads| {
+            let mut cfg = base.clone();
+            cfg.threads = threads;
+            LoadPoint {
+                x: threads,
+                metrics: run_point(slot, &cfg),
+            }
+        },
+    );
     ConcurrencySweep { points, skipped }
 }
 
@@ -74,16 +79,20 @@ pub fn device_capacity_sweep_with(
         return Vec::new();
     }
     let runnable: Vec<usize> = server_counts.iter().copied().filter(|&s| s > 0).collect();
-    pool.map(&runnable, |_, &servers| {
-        let mut cfg = base.clone();
-        if let Some(offload) = cfg.offload.as_mut() {
-            offload.device = DeviceKind::Shared { servers };
-        }
-        LoadPoint {
-            x: servers,
-            metrics: Simulator::new(cfg).run(),
-        }
-    })
+    pool.map_init(
+        &runnable,
+        || None,
+        |slot, _, &servers| {
+            let mut cfg = base.clone();
+            if let Some(offload) = cfg.offload.as_mut() {
+                offload.device = DeviceKind::Shared { servers };
+            }
+            LoadPoint {
+                x: servers,
+                metrics: run_point(slot, &cfg),
+            }
+        },
+    )
 }
 
 /// Sweeps the shared accelerator's server count (device capacity) over a

@@ -14,8 +14,9 @@
 
 pub use accelerometer::exec::{available_jobs, default_jobs, set_default_jobs, ExecPool};
 
-use crate::engine::{SimConfig, Simulator};
+use crate::engine::SimConfig;
 use crate::metrics::SimMetrics;
+use crate::shard::run_point;
 
 /// Derives a statistically independent child seed from a root seed and
 /// a job index (splitmix64 over `root ^ index·φ`), so replica studies
@@ -29,11 +30,14 @@ pub fn derive_seed(root: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Runs every configuration through [`Simulator::run`] on the pool,
-/// returning metrics in input order.
+/// Runs every configuration on the pool, returning metrics in input
+/// order. Each worker keeps one engine alive across the jobs it pulls
+/// (reset, not rebuilt, per configuration), and the whole batch routes
+/// through the sharded runner instead when `--shards` is set (see
+/// [`crate::shard::set_default_shards`]).
 #[must_use]
 pub fn run_batch(pool: &ExecPool, configs: &[SimConfig]) -> Vec<SimMetrics> {
-    pool.map(configs, |_, cfg| Simulator::new(cfg.clone()).run())
+    pool.map_init(configs, || None, |slot, _, cfg| run_point(slot, cfg))
 }
 
 /// Runs `replicas` copies of `base` whose seeds are derived from
@@ -41,16 +45,20 @@ pub fn run_batch(pool: &ExecPool, configs: &[SimConfig]) -> Vec<SimMetrics> {
 /// simulator's stochastic outputs.
 #[must_use]
 pub fn run_replicas(pool: &ExecPool, base: &SimConfig, replicas: usize) -> Vec<SimMetrics> {
-    pool.run(replicas, |i| {
-        let mut cfg = base.clone();
-        cfg.seed = derive_seed(base.seed, i as u64);
-        Simulator::new(cfg).run()
-    })
+    let configs: Vec<SimConfig> = (0..replicas)
+        .map(|i| {
+            let mut cfg = base.clone();
+            cfg.seed = derive_seed(base.seed, i as u64);
+            cfg
+        })
+        .collect();
+    run_batch(pool, &configs)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::Simulator;
     use crate::workload::WorkloadSpec;
     use accelerometer::units::cycles_per_byte;
     use accelerometer::GranularityCdf;

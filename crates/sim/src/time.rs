@@ -28,6 +28,23 @@ impl SimTime {
         Self(cycles)
     }
 
+    /// Constructs a time point from a value already known to be valid
+    /// (non-NaN, non-negative), checking only in debug builds.
+    ///
+    /// The engine's event loop performs millions of time constructions
+    /// per run from values whose invariants are established once — at
+    /// configuration validation and at heap-key packing — so the release
+    /// build skips the per-operation assert.
+    #[inline]
+    #[must_use]
+    pub(crate) fn from_raw(cycles: f64) -> Self {
+        debug_assert!(
+            !cycles.is_nan() && cycles >= 0.0,
+            "invalid sim time {cycles}"
+        );
+        Self(cycles)
+    }
+
     /// The raw cycle count.
     #[must_use]
     pub fn cycles(self) -> f64 {
@@ -72,8 +89,15 @@ impl Ord for SimTime {
 
 impl Add<f64> for SimTime {
     type Output = SimTime;
+    /// Advances the time point by `rhs` cycles.
+    ///
+    /// All engine-side durations are validated non-negative up front
+    /// (`SimConfig::validate`), so the sum cannot leave the valid range;
+    /// the check runs in debug builds only. [`SimTime::new`] remains the
+    /// asserting entry point for unvalidated values.
+    #[inline]
     fn add(self, rhs: f64) -> SimTime {
-        SimTime::new(self.0 + rhs)
+        SimTime::from_raw(self.0 + rhs)
     }
 }
 

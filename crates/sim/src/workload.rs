@@ -5,8 +5,6 @@
 //! of the aggregate `C`, `α`, and `n` parameters the analytical model
 //! works with.
 
-use std::collections::VecDeque;
-
 use accelerometer::units::CyclesPerByte;
 use accelerometer::{GranularityCdf, GranularitySampler};
 use rand::rngs::StdRng;
@@ -124,7 +122,7 @@ pub struct RequestSampler {
 impl RequestSampler {
     /// Draws one request's work items into `out`, clearing it first.
     /// The buffer's allocation is reused across requests.
-    pub fn draw_into(&self, rng: &mut StdRng, out: &mut VecDeque<WorkItem>) {
+    pub fn draw_into(&self, rng: &mut StdRng, out: &mut Vec<WorkItem>) {
         out.clear();
         let u: f64 = rng.gen_range(0.0..1.0);
         let host_total = -((1.0 - u).ln()) * self.non_kernel_cycles;
@@ -132,16 +130,16 @@ impl RequestSampler {
         let host_chunk = host_total / chunks as f64;
         for _ in 0..self.kernels_per_request {
             if host_chunk > 0.0 {
-                out.push_back(WorkItem::Host(host_chunk));
+                out.push(WorkItem::Host(host_chunk));
             }
             let bytes = self.quantile.quantile(rng.gen_range(0.0..1.0)).get();
-            out.push_back(WorkItem::Kernel { bytes });
+            out.push(WorkItem::Kernel { bytes });
         }
         if host_chunk > 0.0 {
-            out.push_back(WorkItem::Host(host_chunk));
+            out.push(WorkItem::Host(host_chunk));
         }
         if out.is_empty() {
-            out.push_back(WorkItem::Host(1.0));
+            out.push(WorkItem::Host(1.0));
         }
     }
 }
@@ -289,12 +287,11 @@ mod tests {
         let sampler = spec.sampler();
         let mut rng_a = StdRng::seed_from_u64(42);
         let mut rng_b = StdRng::seed_from_u64(42);
-        let mut buf = VecDeque::new();
+        let mut buf = Vec::new();
         for _ in 0..5_000 {
             let reference = spec.draw_request(&mut rng_a);
             sampler.draw_into(&mut rng_b, &mut buf);
-            let drawn: Vec<WorkItem> = buf.iter().copied().collect();
-            assert_eq!(reference, drawn);
+            assert_eq!(reference, buf);
         }
     }
 }

@@ -1,7 +1,7 @@
 #!/bin/sh
 # Benchmark regression gate: re-runs the recorded benches and fails if
-# any benchmark's mean — raw, or 10%-trimmed when both sides recorded
-# one — regresses more than the tolerance versus the committed
+# any benchmark's mean — raw and/or 10%-trimmed, whichever the committed
+# record keeps — regresses more than the tolerance versus the committed
 # BENCH_*.json record.
 #
 # Usage: scripts/bench_regress.sh
@@ -42,12 +42,13 @@ for record in BENCH_engine.json BENCH_parallel.json BENCH_kernels.json; do
         continue
     fi
     # Join committed and fresh results by id, then let awk render the
-    # readable diff and flag regressions beyond tolerance. Both the raw
-    # mean and (when both sides recorded one) the 10%-trimmed mean are
-    # gated: the trimmed mean is the robust number on a noisy shared
-    # host, the raw mean is kept for continuity with older records.
-    # "-" marks a side with no trimmed mean.
-    committed=$(jq -r '.results[] | "BASE\t\(.id)\t\(.mean_ns)\t\(.trimmed_mean_ns // "-")"' "$record")
+    # readable diff and flag regressions beyond tolerance. Each mean the
+    # committed record keeps — raw, 10%-trimmed, or both — is gated
+    # against the fresh run's counterpart: the trimmed mean is the
+    # robust number on a noisy shared host; older records carried only
+    # the raw mean, newer ones only the trimmed. "-" marks a side (or
+    # column) without that mean.
+    committed=$(jq -r '.results[] | "BASE\t\(.id)\t\(.mean_ns // "-")\t\(.trimmed_mean_ns // "-")"' "$record")
     fresh=$(printf '%s\n' "$out" | jq -r '"CUR\t\(.id)\t\(.mean_ns)\t\(.trimmed_mean_ns // "-")"')
     report=$(printf '%s\n%s\n' "$committed" "$fresh" | awk -F'\t' -v tol="$TOLERANCE_PCT" '
         $1 == "BASE" { base[$2] = $3; base_tr[$2] = $4; order[n++] = $2; next }
@@ -57,17 +58,21 @@ for record in BENCH_engine.json BENCH_parallel.json BENCH_kernels.json; do
             printf "%-52s %14s %14s %9s %10s\n", "benchmark", "recorded_ns", "current_ns", "delta", "trim_delta"
             for (i = 0; i < n; i++) {
                 id = order[i]
-                if (!(id in cur)) { printf "%-52s %14.0f %14s %9s %10s  MISSING\n", id, base[id], "-", "-", "-"; fail = 1; continue }
-                delta = (cur[id] / base[id] - 1) * 100
+                if (!(id in cur)) { printf "%-52s %14s %14s %9s %10s  MISSING\n", id, base[id], "-", "-", "-"; fail = 1; continue }
                 flag = ""
-                if (delta > tol) { flag = "  REGRESSED"; fail = 1 }
+                delta_col = "-"
+                if (base[id] != "-") {
+                    delta = (cur[id] / base[id] - 1) * 100
+                    delta_col = sprintf("%+8.1f%%", delta)
+                    if (delta > tol) { flag = "  REGRESSED"; fail = 1 }
+                }
                 trim_col = "-"
                 if (base_tr[id] != "-" && cur_tr[id] != "-") {
                     trim_delta = (cur_tr[id] / base_tr[id] - 1) * 100
                     trim_col = sprintf("%+9.1f%%", trim_delta)
                     if (trim_delta > tol) { flag = "  REGRESSED(trimmed)"; fail = 1 }
                 }
-                printf "%-52s %14.0f %14.0f %+8.1f%% %10s%s\n", id, base[id], cur[id], delta, trim_col, flag
+                printf "%-52s %14s %14.0f %9s %10s%s\n", id, base[id], cur[id], delta_col, trim_col, flag
             }
             exit fail
         }') || status=1

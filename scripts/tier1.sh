@@ -35,6 +35,15 @@ cmp "$out_dir/faults_j1.json" "$out_dir/faults_j2.json"
 printf '\n' | cat crates/cli/tests/fixtures/golden_faults.json - > "$out_dir/faults_expected.json"
 cmp "$out_dir/faults_expected.json" "$out_dir/faults_j1.json"
 
+echo "== shards smoke: accelctl --shards 1 and 4 must match the committed sharded fixture =="
+# The shard decomposition is derived from the configuration, so the
+# worker width can only change wall-clock time, never a byte of output.
+./target/release/accelctl --shards 1 faults > "$out_dir/faults_s1.json"
+./target/release/accelctl --shards 4 faults > "$out_dir/faults_s4.json"
+cmp "$out_dir/faults_s1.json" "$out_dir/faults_s4.json"
+printf '\n' | cat crates/cli/tests/fixtures/golden_faults_sharded.json - > "$out_dir/faults_sharded_expected.json"
+cmp "$out_dir/faults_sharded_expected.json" "$out_dir/faults_s1.json"
+
 if [ "${BENCH_REGRESS:-0}" = "1" ]; then
     echo "== bench regression gate (opt-in) =="
     sh scripts/bench_regress.sh

@@ -18,10 +18,17 @@
 //!   (default 120).
 //! - `CRITERION_WARMUP_ITERS` — warm-up iterations discarded from the
 //!   front of the sample set (default 5).
+//!
+//! Like real criterion, positional command-line arguments are substring
+//! filters: `cargo bench --bench engine -- engine/run` (or invoking the
+//! bench binary with `engine/run`) runs only benchmarks whose full id
+//! contains one of the given substrings. Arguments starting with `-`
+//! (e.g. the `--bench` cargo passes through) are ignored.
 
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -137,6 +144,24 @@ fn warmup_iters() -> usize {
         .unwrap_or(5)
 }
 
+/// Positional command-line arguments, used as benchmark-id substring
+/// filters. Flag-like arguments are dropped so the list stays empty
+/// (run everything) under a plain `cargo bench`.
+fn filters() -> &'static [String] {
+    static FILTERS: OnceLock<Vec<String>> = OnceLock::new();
+    FILTERS.get_or_init(|| {
+        std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect()
+    })
+}
+
+fn selected(full_id: &str) -> bool {
+    let filters = filters();
+    filters.is_empty() || filters.iter().any(|f| full_id.contains(f.as_str()))
+}
+
 fn human_time(ns: f64) -> String {
     if ns < 1_000.0 {
         format!("{ns:.1} ns")
@@ -150,6 +175,9 @@ fn human_time(ns: f64) -> String {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(full_id: &str, throughput: Option<Throughput>, mut f: F) {
+    if !selected(full_id) {
+        return;
+    }
     let mut bencher = Bencher {
         mean_ns: 0.0,
         trimmed_mean_ns: 0.0,
