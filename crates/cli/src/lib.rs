@@ -46,12 +46,12 @@ use accelerometer_fleet::{all_case_studies, profile, ServiceId};
 use accelerometer_profiler::{analyze, to_folded, TraceGenerator};
 use accelerometer_sim::faultsweep::demo_scenario;
 use accelerometer_sim::{
-    run_fault_sweep, set_default_shards, simulate, validate_all, FaultScenario, SimError,
-    CASE_STUDY_NAMES,
+    run_fault_sweep, set_default_shards, set_trace_reuse, simulate, validate_all, FaultScenario,
+    SimError, CASE_STUDY_NAMES,
 };
 
 /// Top-level usage text.
-pub const USAGE: &str = "usage: accelctl [--jobs N] [--shards N] <command> [args]
+pub const USAGE: &str = "usage: accelctl [--jobs N] [--shards N] [--trace-reuse on|off] <command> [args]
 global flags:
   --jobs N                        worker threads for independent runs
                                   (default: available parallelism; results
@@ -62,6 +62,11 @@ global flags:
                                   output is byte-identical at any N >= 1;
                                   sharded output is a different (documented)
                                   decomposition than the unsharded engine
+  --trace-reuse on|off            reuse one frozen workload trace across a
+                                  sweep's grid points (default: on). Both
+                                  settings are byte-identical; off exists
+                                  to prove it and to measure the sampling
+                                  cost it removes
 commands:
   estimate <config.json>          evaluate scenarios from a parameter file
   breakeven --cb <c/B> --a <A> [--o0 N] [--l N] [--q N] [--o1 N]
@@ -90,6 +95,7 @@ commands:
 pub fn run(args: &[String]) -> Result<String, String> {
     let args = apply_jobs_flag(args)?;
     let args = apply_shards_flag(&args)?;
+    let args = apply_trace_reuse_flag(&args)?;
     let args = args.as_slice();
     let mut it = args.iter().map(String::as_str);
     match it.next() {
@@ -149,6 +155,27 @@ fn apply_shards_flag(args: &[String]) -> Result<Vec<String>, String> {
         return Err("--shards expects a positive integer, got 0".to_owned());
     }
     set_default_shards(shards);
+    args.drain(i..=i + 1);
+    Ok(args)
+}
+
+/// Strips the global `--trace-reuse on|off` flag, toggling cross-point
+/// frozen-trace reuse in the sweep runners. Both settings produce
+/// byte-identical output (the tier-1 smoke diffs them); `off` exists to
+/// prove that and to measure the sampling cost reuse removes.
+fn apply_trace_reuse_flag(args: &[String]) -> Result<Vec<String>, String> {
+    let mut args = args.to_vec();
+    let Some(i) = args.iter().position(|a| a == "--trace-reuse") else {
+        return Ok(args);
+    };
+    let value = args
+        .get(i + 1)
+        .ok_or("--trace-reuse requires a value (on or off)")?;
+    match value.as_str() {
+        "on" => set_trace_reuse(true),
+        "off" => set_trace_reuse(false),
+        other => return Err(format!("--trace-reuse expects 'on' or 'off', got '{other}'")),
+    }
     args.drain(i..=i + 1);
     Ok(args)
 }
@@ -661,6 +688,29 @@ mod tests {
         assert!(run(&args(&["--shards"])).unwrap_err().contains("--shards"));
         assert!(run(&args(&["--shards", "zero", "help"])).is_err());
         assert!(run(&args(&["--shards", "0", "help"])).is_err());
+    }
+
+    #[test]
+    fn trace_reuse_flag_is_global_validated_and_byte_exact() {
+        let _guard = lock_shards_global();
+        // The sweep-level bit-exactness contract: a full fault sweep's
+        // JSON must not change by a byte whether grid points share one
+        // frozen trace (default) or redraw their streams per point.
+        let reused = run(&args(&["--trace-reuse", "on", "faults"])).unwrap();
+        let redrawn = run(&args(&["--trace-reuse", "off", "faults"])).unwrap();
+        set_trace_reuse(true);
+        assert_eq!(reused, redrawn, "trace reuse changed sweep output");
+        // And under sharding, where traces are per derived shard seed.
+        let reused = run(&args(&["--trace-reuse", "on", "--shards", "2", "faults"])).unwrap();
+        let redrawn = run(&args(&["--trace-reuse", "off", "--shards", "2", "faults"])).unwrap();
+        set_default_shards(0);
+        set_trace_reuse(true);
+        assert_eq!(reused, redrawn, "trace reuse changed sharded sweep output");
+        // Missing / unknown values are rejected before dispatch.
+        assert!(run(&args(&["--trace-reuse"]))
+            .unwrap_err()
+            .contains("--trace-reuse"));
+        assert!(run(&args(&["--trace-reuse", "maybe", "help"])).is_err());
     }
 
     #[test]

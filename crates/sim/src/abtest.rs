@@ -6,10 +6,13 @@
 //! identical except for whether the kernel is offloaded. The measured
 //! throughput ratio is the experiment's "real speedup".
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::engine::{OffloadConfig, SimConfig, Simulator};
 use crate::metrics::SimMetrics;
+use crate::trace::{trace_reuse_enabled, FrozenTrace};
 
 /// The outcome of an A/B comparison.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -62,9 +65,23 @@ pub fn run_ab(control: &SimConfig, offload: OffloadConfig) -> AbResult {
     );
     let mut treatment_cfg = control.clone();
     treatment_cfg.offload = Some(offload);
+    // Both arms share the seed and workload by construction, so one
+    // frozen trace (sized for the faster treatment arm) serves both —
+    // the experiment's stochastic input is sampled once, not twice.
+    let trace = trace_reuse_enabled()
+        .then(|| Arc::new(FrozenTrace::for_config(&treatment_cfg)));
     let (baseline, treatment) = std::thread::scope(|scope| {
-        let base = scope.spawn(|| Simulator::new(control.clone()).run());
-        let treat = scope.spawn(move || Simulator::new(treatment_cfg).run());
+        let base_trace = trace.clone();
+        let base = scope.spawn(move || {
+            Simulator::try_new_with_trace(control.clone(), base_trace)
+                .unwrap_or_else(|err| panic!("{err}"))
+                .run()
+        });
+        let treat = scope.spawn(move || {
+            Simulator::try_new_with_trace(treatment_cfg, trace)
+                .unwrap_or_else(|err| panic!("{err}"))
+                .run()
+        });
         (
             base.join().expect("baseline run does not panic"),
             treat.join().expect("treatment run does not panic"),

@@ -10,6 +10,7 @@
 //! production measurements.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use accelerometer::{AccelerationStrategy, DriverMode, ThreadingDesign};
 use rand::rngs::StdRng;
@@ -18,11 +19,12 @@ use serde::{Deserialize, Serialize};
 
 use crate::device::{Device, DeviceKind};
 use crate::equeue::{bound_key, pack, unpack_time, EventQueue};
-use crate::error::{ensure, Result};
+use crate::error::{ensure, Result, SimError};
 use crate::fault::{FaultPlan, FaultState, RecoveryPolicy};
 use crate::metrics::{FaultMetrics, LatencyStats, SimMetrics};
 use crate::parallel::derive_seed;
 use crate::time::SimTime;
+use crate::trace::{FrozenTrace, SampleBank};
 use crate::workload::{RequestSampler, WorkItem, WorkloadSpec};
 
 /// Accelerator-side configuration for a simulation run.
@@ -287,6 +289,13 @@ pub struct EngineStats {
     pub heap_sift_ups: u64,
     /// Entry moves the event heap performed sifting pops down.
     pub heap_sift_downs: u64,
+    /// Sample-bank refills (blocks of requests pre-drawn from the
+    /// engine RNG) — how many times the draw loop ran.
+    pub bank_refills: u64,
+    /// Requests replayed from an adopted frozen trace instead of drawn
+    /// live; with cross-point reuse this is where sweep sampling cost
+    /// goes.
+    pub trace_requests_replayed: u64,
 }
 
 impl EngineStats {
@@ -394,6 +403,16 @@ pub struct Simulator {
     /// bit-identical to `cfg.workload.draw_request`.
     sampler: RequestSampler,
     rng: StdRng,
+    /// Level-1 sampling: a bank of pre-drawn requests refilled in blocks
+    /// so the event loop consumes plain data instead of interleaving
+    /// RNG/`ln`/quantile calls with event handling. Bit-identical to
+    /// per-request drawing at any block size.
+    bank: SampleBank,
+    /// Level-2 sampling: an adopted frozen trace (shared across sweep
+    /// grid points) plus the index of the next request to take from it.
+    /// When the prefix runs out, the engine switches `rng` to the
+    /// trace's continuation state and falls back to the bank.
+    trace: Option<(Arc<FrozenTrace>, usize)>,
     now: SimTime,
     seq: u64,
     events: EventQueue<Event>,
@@ -427,12 +446,35 @@ pub struct Simulator {
     events_processed: u64,
     batch_runs: u64,
     multi_event_batches: u64,
+    trace_replayed: u64,
     live_requests: usize,
     peak_live_requests: usize,
     /// Whether the initial thread-to-core assignment has been made;
     /// flips on the first [`run_until`](Self::run_until) call so a
     /// paused engine can resume without re-priming.
     primed: bool,
+}
+
+/// Validates a frozen trace against the config it is being installed
+/// for, and normalizes empty traces to `None` (an empty prefix is a
+/// no-op: the resume RNG equals the fresh seed state).
+fn check_trace(
+    cfg: &SimConfig,
+    trace: Option<Arc<FrozenTrace>>,
+) -> Result<Option<(Arc<FrozenTrace>, usize)>> {
+    match trace {
+        None => Ok(None),
+        Some(t) => {
+            if !t.matches(cfg) {
+                return Err(SimError::InvalidConfig {
+                    field: "trace",
+                    value: t.seed() as f64,
+                    reason: "frozen trace was drawn for a different seed or workload",
+                });
+            }
+            Ok((!t.is_empty()).then_some((t, 0)))
+        }
+    }
 }
 
 impl Simulator {
@@ -459,7 +501,27 @@ impl Simulator {
     /// Returns [`crate::SimError::InvalidConfig`] when
     /// [`SimConfig::validate`] rejects the configuration.
     pub fn try_new(cfg: SimConfig) -> Result<Self> {
+        Self::try_new_with_trace(cfg, None)
+    }
+
+    /// [`try_new`](Self::try_new) with a frozen trace to adopt: the
+    /// engine serves request draws from the trace's pre-drawn prefix
+    /// and continues live drawing from the trace's resume RNG state
+    /// afterwards — bit-identical to `try_new(cfg)` for a trace drawn
+    /// from `cfg`'s seed and workload (sweeps rely on this to sample
+    /// once per seed instead of once per grid point).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SimError::InvalidConfig`] when the
+    /// configuration is invalid or the trace was drawn for a different
+    /// seed or workload.
+    pub fn try_new_with_trace(
+        cfg: SimConfig,
+        trace: Option<Arc<FrozenTrace>>,
+    ) -> Result<Self> {
         cfg.validate()?;
+        let trace = check_trace(&cfg, trace)?;
         let device = cfg
             .offload
             .as_ref()
@@ -501,6 +563,7 @@ impl Simulator {
             events_processed: 0,
             batch_runs: 0,
             multi_event_batches: 0,
+            trace_replayed: 0,
             live_requests: 0,
             peak_live_requests: 0,
             now: SimTime::ZERO,
@@ -510,6 +573,8 @@ impl Simulator {
             events: EventQueue::with_capacity(2 * cfg.threads + 8),
             next_event: None,
             rng,
+            bank: SampleBank::new(),
+            trace,
             cfg,
             primed: false,
         })
@@ -532,7 +597,27 @@ impl Simulator {
     /// [`SimConfig::validate`] rejects the configuration; the engine is
     /// left untouched in that case.
     pub fn reset(&mut self, cfg: SimConfig) -> Result<()> {
+        self.reset_with_trace(cfg, None)
+    }
+
+    /// [`reset`](Self::reset) that additionally adopts a frozen trace,
+    /// exactly as [`try_new_with_trace`](Self::try_new_with_trace) does
+    /// at construction. This is how sweep runners reuse one engine *and*
+    /// one trace across grid points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SimError::InvalidConfig`] when the
+    /// configuration is invalid or the trace was drawn for a different
+    /// seed or workload; the engine is left untouched in that case.
+    pub fn reset_with_trace(
+        &mut self,
+        cfg: SimConfig,
+        trace: Option<Arc<FrozenTrace>>,
+    ) -> Result<()> {
         cfg.validate()?;
+        self.trace = check_trace(&cfg, trace)?;
+        self.bank.clear();
         self.device = cfg
             .offload
             .as_ref()
@@ -572,6 +657,7 @@ impl Simulator {
         self.events_processed = 0;
         self.batch_runs = 0;
         self.multi_event_batches = 0;
+        self.trace_replayed = 0;
         self.live_requests = 0;
         self.peak_live_requests = 0;
         self.now = SimTime::ZERO;
@@ -581,6 +667,14 @@ impl Simulator {
         self.primed = false;
         self.cfg = cfg;
         Ok(())
+    }
+
+    /// Overrides the sample bank's refill block size (test hook).
+    /// Every block size is bit-identical — size 1 degenerates to the
+    /// historical draw-per-request path — which the trace proptests pin.
+    #[doc(hidden)]
+    pub fn set_bank_block(&mut self, block: usize) {
+        self.bank.set_block(block);
     }
 
     /// Schedules `event` at `time`, routing it through the one-slot heap
@@ -1011,18 +1105,39 @@ impl Simulator {
         let request = self.slab.alloc(start);
         self.live_requests += 1;
         self.peak_live_requests = self.peak_live_requests.max(self.live_requests);
-        // Draw directly into the thread's (drained) item buffer so its
-        // allocation is reused request after request. Disjoint field
-        // borrows keep the sampler, RNG, and buffer independent.
+        // Copy the next pre-drawn request into the thread's (drained)
+        // item buffer so its allocation is reused request after request.
+        // Disjoint field borrows keep the sampler, RNG, bank, and buffer
+        // independent. Priority: adopted frozen trace, then the bank
+        // (which refills itself from the RNG in blocks).
         let Self {
             ref sampler,
             ref mut rng,
             ref mut threads,
+            ref mut bank,
+            ref mut trace,
+            ref mut trace_replayed,
             ..
         } = *self;
         let queue = &mut threads[thread].items;
         queue.head = 0;
-        sampler.draw_into(rng, &mut queue.buf);
+        match trace {
+            Some((frozen, next)) => {
+                queue.buf.clear();
+                queue.buf.extend_from_slice(frozen.request(*next));
+                *next += 1;
+                *trace_replayed += 1;
+                // Prefix exhausted: continue live drawing from the RNG
+                // state after the prefix — bit-identical to a run that
+                // never had the trace (`check_trace` guarantees the
+                // trace is non-empty, so `next` was in range).
+                if *next == frozen.len() {
+                    *rng = frozen.resume_rng().clone();
+                    *trace = None;
+                }
+            }
+            None => bank.pop_into(sampler, rng, &mut queue.buf),
+        }
         threads[thread].request = request;
     }
 
@@ -1088,6 +1203,8 @@ impl Simulator {
             multi_event_batches: self.multi_event_batches,
             heap_sift_ups: self.events.sift_ups(),
             heap_sift_downs: self.events.sift_downs(),
+            bank_refills: self.bank.refills(),
+            trace_requests_replayed: self.trace_replayed,
         };
         (metrics, stats)
     }
@@ -1124,6 +1241,8 @@ impl Simulator {
             multi_event_batches: self.multi_event_batches,
             heap_sift_ups: self.events.sift_ups(),
             heap_sift_downs: self.events.sift_downs(),
+            bank_refills: self.bank.refills(),
+            trace_requests_replayed: self.trace_replayed,
         };
         let (device_busy, device_queue_delay_total, device_offloads, device_servers) = self
             .device
@@ -1637,6 +1756,23 @@ mod tests {
         let (_, sync_stats) = Simulator::new(sync_cfg).run_instrumented();
         assert!(sync_stats.multi_event_batches > 0);
         assert!(sync_stats.mean_batch_len() > 1.0);
+    }
+
+    #[test]
+    fn sampling_stats_attribute_requests_to_bank_or_trace() {
+        let cfg = base_config();
+        // Without a trace every request comes from the bank.
+        let (metrics, stats) = Simulator::new(cfg.clone()).run_instrumented();
+        assert!(stats.bank_refills > 0);
+        assert_eq!(stats.trace_requests_replayed, 0);
+        // A full-length frozen trace absorbs every draw: no refills, and
+        // the replay counter covers the completed requests.
+        let trace = Arc::new(FrozenTrace::for_config(&cfg));
+        let engine = Simulator::try_new_with_trace(cfg, Some(trace)).expect("trace matches");
+        let (traced_metrics, traced_stats) = engine.run_instrumented();
+        assert_eq!(metrics, traced_metrics);
+        assert_eq!(traced_stats.bank_refills, 0);
+        assert!(traced_stats.trace_requests_replayed >= traced_metrics.completed_requests);
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crate::fault::{DegradationWindow, FaultPlan, RecoveryPolicy};
 use crate::metrics::SimMetrics;
 use crate::parallel::ExecPool;
 use crate::shard::run_point;
+use crate::trace::TraceStore;
 
 /// A recovery policy with a human-readable name for the report.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -118,7 +119,16 @@ pub fn run_fault_sweep_with(pool: &ExecPool, scenario: &FaultScenario) -> Result
         cfg.validate()?;
     }
 
-    let mut results = pool.map_init(&configs, || None, |slot, _, cfg| run_point(slot, cfg));
+    // Every run shares the base seed and workload — faults and recovery
+    // policies draw from a separate derived RNG stream — so the whole
+    // sweep samples its workload trace once.
+    let traces = TraceStore::for_sweep();
+    if let Some(store) = &traces {
+        store.prewarm(&configs[0]);
+    }
+    let mut results = pool.map_init(&configs, || None, |slot, _, cfg| {
+        run_point(slot, cfg, traces.as_ref())
+    });
     let healthy = results.remove(0);
     let outcomes = scenario
         .policies

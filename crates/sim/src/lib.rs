@@ -57,6 +57,7 @@ pub mod metrics;
 pub mod parallel;
 pub mod shard;
 pub mod time;
+pub mod trace;
 pub mod workload;
 
 pub use abtest::{run_ab, AbResult};
@@ -79,7 +80,8 @@ pub use engine::{EngineStats, OffloadConfig, SimConfig, Simulator};
 pub use metrics::{FaultMetrics, LatencyStats, SimMetrics};
 pub use parallel::{derive_seed, run_batch, run_replicas, ExecPool};
 pub use shard::{
-    default_shards, run_sharded, run_sharded_instrumented, set_default_shards, ShardPlan,
-    ShardStats,
+    default_shards, run_sharded, run_sharded_instrumented, run_sharded_traced,
+    set_default_shards, ShardPlan, ShardStats,
 };
 pub use time::SimTime;
+pub use trace::{set_trace_reuse, trace_reuse_enabled, FrozenTrace, TraceStore};

@@ -9,6 +9,7 @@ use crate::engine::SimConfig;
 use crate::metrics::SimMetrics;
 use crate::parallel::ExecPool;
 use crate::shard::run_point;
+use crate::trace::TraceStore;
 
 /// One point of a load sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -44,6 +45,21 @@ pub fn concurrency_sweep_with(
 ) -> ConcurrencySweep {
     let (runnable, skipped): (Vec<usize>, Vec<usize>) =
         thread_counts.iter().partition(|&&t| t >= base.cores);
+    // Every point shares the base seed and workload (only the thread
+    // count varies), so one frozen trace serves the whole grid. Prewarm
+    // it sized for the deepest pool so the trace length is deterministic
+    // regardless of which worker reaches the store first.
+    let traces = TraceStore::for_sweep();
+    if let Some(store) = &traces {
+        let mut probe = base.clone();
+        probe.threads = runnable
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(base.threads)
+            .max(base.threads);
+        store.prewarm(&probe);
+    }
     let points = pool.map_init(
         &runnable,
         || None,
@@ -52,7 +68,7 @@ pub fn concurrency_sweep_with(
             cfg.threads = threads;
             LoadPoint {
                 x: threads,
-                metrics: run_point(slot, &cfg),
+                metrics: run_point(slot, &cfg, traces.as_ref()),
             }
         },
     );
@@ -79,6 +95,12 @@ pub fn device_capacity_sweep_with(
         return Vec::new();
     }
     let runnable: Vec<usize> = server_counts.iter().copied().filter(|&s| s > 0).collect();
+    // Server count does not enter the trace key (seed, workload) or the
+    // size estimate, so the base config prewarms a trace all points use.
+    let traces = TraceStore::for_sweep();
+    if let Some(store) = &traces {
+        store.prewarm(base);
+    }
     pool.map_init(
         &runnable,
         || None,
@@ -89,7 +111,7 @@ pub fn device_capacity_sweep_with(
             }
             LoadPoint {
                 x: servers,
-                metrics: run_point(slot, &cfg),
+                metrics: run_point(slot, &cfg, traces.as_ref()),
             }
         },
     )

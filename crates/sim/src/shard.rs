@@ -40,6 +40,7 @@ use crate::engine::{EngineStats, ShardOutput, SimConfig, Simulator};
 use crate::error::Result;
 use crate::metrics::{FaultMetrics, LatencyStats, SimMetrics};
 use crate::parallel::derive_seed;
+use crate::trace::TraceStore;
 
 /// Upper bound on the logical shard count. Shards trade fidelity of
 /// cross-shard queueing for parallelism; eight bounds the loss while
@@ -153,7 +154,25 @@ pub struct ShardStats {
 /// Returns [`crate::SimError::InvalidConfig`] when the configuration is
 /// rejected by [`SimConfig::validate`].
 pub fn run_sharded(pool: &ExecPool, cfg: &SimConfig) -> Result<SimMetrics> {
-    run_sharded_instrumented(pool, cfg).map(|(m, _)| m)
+    run_sharded_instrumented_traced(pool, cfg, None).map(|(m, _)| m)
+}
+
+/// [`run_sharded`] with an optional frozen-trace store: each shard looks
+/// up (or, in an eager store, draws and caches) the trace for its
+/// decorrelated seed, so a sweep's grid points share one trace draw per
+/// shard instead of redrawing per point. Byte-identical to
+/// [`run_sharded`] — the trace path is the same stream, pre-drawn.
+///
+/// # Errors
+///
+/// Returns [`crate::SimError::InvalidConfig`] when the configuration is
+/// rejected by [`SimConfig::validate`].
+pub fn run_sharded_traced(
+    pool: &ExecPool,
+    cfg: &SimConfig,
+    traces: Option<&TraceStore>,
+) -> Result<SimMetrics> {
+    run_sharded_instrumented_traced(pool, cfg, traces).map(|(m, _)| m)
 }
 
 /// [`run_sharded`] plus the per-shard counters.
@@ -166,10 +185,22 @@ pub fn run_sharded_instrumented(
     pool: &ExecPool,
     cfg: &SimConfig,
 ) -> Result<(SimMetrics, ShardStats)> {
+    run_sharded_instrumented_traced(pool, cfg, None)
+}
+
+fn run_sharded_instrumented_traced(
+    pool: &ExecPool,
+    cfg: &SimConfig,
+    traces: Option<&TraceStore>,
+) -> Result<(SimMetrics, ShardStats)> {
     cfg.validate()?;
     let plan = ShardPlan::for_config(cfg);
     let mut shards = (0..plan.shards)
-        .map(|i| Simulator::try_new(plan.shard_config(cfg, i)))
+        .map(|i| {
+            let shard_cfg = plan.shard_config(cfg, i);
+            let trace = traces.and_then(|s| s.get(&shard_cfg));
+            Simulator::try_new_with_trace(shard_cfg, trace)
+        })
         .collect::<Result<Vec<_>>>()?;
     // Only shards of one shared device interact; per-core devices are
     // private by construction and unlimited devices never queue.
@@ -257,6 +288,8 @@ fn merge(cfg: &SimConfig, plan: ShardPlan, outputs: &[ShardOutput]) -> (SimMetri
         engine.multi_event_batches += out.stats.multi_event_batches;
         engine.heap_sift_ups += out.stats.heap_sift_ups;
         engine.heap_sift_downs += out.stats.heap_sift_downs;
+        engine.bank_refills += out.stats.bank_refills;
+        engine.trace_requests_replayed += out.stats.trace_requests_replayed;
         per_shard_events.push(out.stats.events_processed);
     }
     let faults = faults.map_or_else(FaultMetrics::default, |mut m| {
@@ -298,32 +331,40 @@ fn merge(cfg: &SimConfig, plan: ShardPlan, outputs: &[ShardOutput]) -> (SimMetri
 
 /// Runs one configuration point the way the batch runners do: through
 /// the sharded path when `--shards` is set, otherwise through a
-/// reusable engine slot that is `reset` instead of rebuilt.
+/// reusable engine slot that is `reset` instead of rebuilt. When a
+/// trace store is supplied, the engine adopts the cached frozen trace
+/// for the point's (seed, workload) — or each shard's derived seed —
+/// instead of redrawing the stream.
 ///
 /// # Panics
 ///
 /// Panics on an invalid configuration, matching the batch runners'
 /// historical `Simulator::new` behaviour (sweep frontends validate
 /// configurations up front).
-pub(crate) fn run_point(slot: &mut Option<Simulator>, cfg: &SimConfig) -> SimMetrics {
+pub(crate) fn run_point(
+    slot: &mut Option<Simulator>,
+    cfg: &SimConfig,
+    traces: Option<&TraceStore>,
+) -> SimMetrics {
     let shards = default_shards();
     if shards > 0 {
-        match run_sharded(&ExecPool::new(shards), cfg) {
+        match run_sharded_traced(&ExecPool::new(shards), cfg, traces) {
             Ok(metrics) => return metrics,
             Err(err) => panic!("{err}"),
         }
     }
+    let trace = traces.and_then(|s| s.get(cfg));
     match slot {
         Some(sim) => {
-            if let Err(err) = sim.reset(cfg.clone()) {
+            if let Err(err) = sim.reset_with_trace(cfg.clone(), trace) {
                 panic!("{err}");
             }
             sim.run_instrumented_in_place().0
         }
-        None => {
-            let sim = slot.insert(Simulator::new(cfg.clone()));
-            sim.run_instrumented_in_place().0
-        }
+        None => match Simulator::try_new_with_trace(cfg.clone(), trace) {
+            Ok(sim) => slot.insert(sim).run_instrumented_in_place().0,
+            Err(err) => panic!("{err}"),
+        },
     }
 }
 
@@ -482,11 +523,24 @@ mod tests {
         set_default_shards(3);
         assert_eq!(default_shards(), 3);
         let mut slot = None;
-        let sharded = run_point(&mut slot, &sharded_config());
+        let sharded = run_point(&mut slot, &sharded_config(), None);
         assert_eq!(
             sharded,
             run_sharded(&ExecPool::new(1), &sharded_config()).unwrap(),
             "with the global set, run_point must take the sharded path"
+        );
+        // An eager trace store must not change a sharded byte: shard
+        // traces are looked up per derived seed and drawn once.
+        let store = TraceStore::eager();
+        assert_eq!(
+            sharded,
+            run_point(&mut slot, &sharded_config(), Some(&store)),
+            "sharded trace reuse diverged"
+        );
+        assert_eq!(
+            store.cached(),
+            ShardPlan::for_config(&sharded_config()).shards,
+            "one trace per shard seed"
         );
         assert!(slot.is_none(), "sharded path must not touch the slot");
         set_default_shards(0);
@@ -495,7 +549,7 @@ mod tests {
         for seed in [1u64, 7, 99] {
             let mut cfg = base.clone();
             cfg.seed = seed;
-            let got = run_point(&mut slot, &cfg);
+            let got = run_point(&mut slot, &cfg, None);
             let fresh = Simulator::new(cfg).run();
             assert_eq!(got, fresh, "seed {seed}");
         }

@@ -60,29 +60,15 @@ impl WorkloadSpec {
     /// kernel invocations so offloads interleave with useful work, which
     /// is what lets asynchronous designs overlap.
     ///
-    /// This is the reference implementation (linear-scan quantile, fresh
-    /// allocation per request); the simulator's hot path uses
-    /// [`RequestSampler::draw_into`], which is tested to match it draw
-    /// for draw.
+    /// Implemented on top of [`RequestSampler::draw_into`] (the
+    /// inverse-CDF sampler is proven bit-identical to the linear-scan
+    /// quantile), so there is exactly one copy of the host-cycles/`ln`
+    /// draw logic. Convenient for one-off draws; repeated draws should
+    /// build the sampler once via [`WorkloadSpec::sampler`].
+    #[must_use]
     pub fn draw_request(&self, rng: &mut StdRng) -> Vec<WorkItem> {
-        let u: f64 = rng.gen_range(0.0..1.0);
-        let host_total = -((1.0 - u).ln()) * self.non_kernel_cycles;
-        let chunks = self.kernels_per_request + 1;
-        let host_chunk = host_total / chunks as f64;
         let mut items = Vec::with_capacity(2 * self.kernels_per_request + 1);
-        for _ in 0..self.kernels_per_request {
-            if host_chunk > 0.0 {
-                items.push(WorkItem::Host(host_chunk));
-            }
-            let bytes = self.granularity.quantile(rng.gen_range(0.0..1.0)).get();
-            items.push(WorkItem::Kernel { bytes });
-        }
-        if host_chunk > 0.0 {
-            items.push(WorkItem::Host(host_chunk));
-        }
-        if items.is_empty() {
-            items.push(WorkItem::Host(1.0));
-        }
+        self.sampler().draw_into(rng, &mut items);
         items
     }
 
@@ -124,6 +110,17 @@ impl RequestSampler {
     /// The buffer's allocation is reused across requests.
     pub fn draw_into(&self, rng: &mut StdRng, out: &mut Vec<WorkItem>) {
         out.clear();
+        self.draw_append(rng, out);
+    }
+
+    /// Draws one request's work items, appending to `out` without
+    /// clearing. This is the single copy of the draw logic: per request,
+    /// one uniform for the exponential host total (split into
+    /// `kernels_per_request + 1` chunks) followed by one uniform per
+    /// kernel granularity. Trace banks use it to pack many requests into
+    /// one flat buffer in a single tight loop.
+    pub fn draw_append(&self, rng: &mut StdRng, out: &mut Vec<WorkItem>) {
+        let start = out.len();
         let u: f64 = rng.gen_range(0.0..1.0);
         let host_total = -((1.0 - u).ln()) * self.non_kernel_cycles;
         let chunks = self.kernels_per_request + 1;
@@ -138,7 +135,7 @@ impl RequestSampler {
         if host_chunk > 0.0 {
             out.push(WorkItem::Host(host_chunk));
         }
-        if out.is_empty() {
+        if out.len() == start {
             out.push(WorkItem::Host(1.0));
         }
     }
@@ -273,11 +270,38 @@ mod tests {
         assert!(!spec.draw_request(&mut rng).is_empty());
     }
 
+    /// The historical allocating draw path, kept verbatim as the test
+    /// reference: linear-scan CDF quantile, fresh `Vec` per request.
+    /// `draw_request` is now a thin wrapper over the sampler, so this is
+    /// what pins both paths to the original RNG consumption order.
+    fn reference_draw(spec: &WorkloadSpec, rng: &mut StdRng) -> Vec<WorkItem> {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let host_total = -((1.0 - u).ln()) * spec.non_kernel_cycles;
+        let chunks = spec.kernels_per_request + 1;
+        let host_chunk = host_total / chunks as f64;
+        let mut items = Vec::with_capacity(2 * spec.kernels_per_request + 1);
+        for _ in 0..spec.kernels_per_request {
+            if host_chunk > 0.0 {
+                items.push(WorkItem::Host(host_chunk));
+            }
+            let bytes = spec.granularity.quantile(rng.gen_range(0.0..1.0)).get();
+            items.push(WorkItem::Kernel { bytes });
+        }
+        if host_chunk > 0.0 {
+            items.push(WorkItem::Host(host_chunk));
+        }
+        if items.is_empty() {
+            items.push(WorkItem::Host(1.0));
+        }
+        items
+    }
+
     #[test]
-    fn sampler_draws_match_draw_request_bitwise() {
-        // The reusable-buffer sampler must consume the RNG in the same
-        // order and produce the same items as the allocating path, draw
-        // for draw, across many consecutive requests.
+    fn sampler_draws_match_reference_bitwise() {
+        // The reusable-buffer sampler and the allocating wrapper must
+        // consume the RNG in the same order and produce the same items
+        // as the historical linear-scan path, draw for draw, across many
+        // consecutive requests.
         let spec = WorkloadSpec {
             non_kernel_cycles: 1_500.0,
             kernels_per_request: 2,
@@ -287,11 +311,13 @@ mod tests {
         let sampler = spec.sampler();
         let mut rng_a = StdRng::seed_from_u64(42);
         let mut rng_b = StdRng::seed_from_u64(42);
+        let mut rng_c = StdRng::seed_from_u64(42);
         let mut buf = Vec::new();
         for _ in 0..5_000 {
-            let reference = spec.draw_request(&mut rng_a);
+            let reference = reference_draw(&spec, &mut rng_a);
             sampler.draw_into(&mut rng_b, &mut buf);
             assert_eq!(reference, buf);
+            assert_eq!(reference, spec.draw_request(&mut rng_c));
         }
     }
 }

@@ -1,0 +1,252 @@
+//! Property-based proof of the sampling pipeline's bit-exactness: runs
+//! that consume pre-drawn requests — through the engine's sample bank at
+//! any block size, or through an adopted frozen trace of any prefix
+//! length, sharded or not, faulted or not — must produce `SimMetrics`
+//! and `EngineStats` identical to direct per-request drawing. The only
+//! counters allowed to differ are `bank_refills` and
+//! `trace_requests_replayed`, which exist precisely to report *where*
+//! requests came from.
+
+use std::sync::Arc;
+
+use accelerometer::exec::ExecPool;
+use accelerometer::units::cycles_per_byte;
+use accelerometer::{AccelerationStrategy, DriverMode, GranularityCdf, ThreadingDesign};
+use accelerometer_sim::fault::{DegradationWindow, FaultPlan, RecoveryPolicy};
+use accelerometer_sim::workload::WorkloadSpec;
+use accelerometer_sim::{
+    run_sharded, run_sharded_traced, DeviceKind, EngineStats, FrozenTrace, OffloadConfig,
+    SimConfig, Simulator, TraceStore,
+};
+use proptest::prelude::*;
+
+/// Strips the sampling-provenance counters, which report which pipeline
+/// level supplied each request and so differ by construction between
+/// the compared paths. Everything else must match exactly.
+fn sans_provenance(mut stats: EngineStats) -> EngineStats {
+    stats.bank_refills = 0;
+    stats.trace_requests_replayed = 0;
+    stats
+}
+
+fn workload_strategy() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        500.0..20_000.0_f64, // non-kernel cycles
+        0usize..3,           // kernels per request (0 exercises the Host(1.0) path)
+        64.0..4_096.0_f64,   // granularity scale
+        0.5..8.0_f64,        // Cb
+    )
+        .prop_map(|(non_kernel, kernels, scale, cb)| WorkloadSpec {
+            non_kernel_cycles: non_kernel,
+            kernels_per_request: kernels,
+            granularity: GranularityCdf::from_points(vec![
+                (scale, 0.5),
+                (scale * 4.0, 0.9),
+                (scale * 16.0, 1.0),
+            ])
+            .expect("valid CDF"),
+            cycles_per_byte: cycles_per_byte(cb),
+        })
+}
+
+fn design_strategy() -> impl Strategy<Value = (ThreadingDesign, AccelerationStrategy)> {
+    (
+        prop::sample::select(ThreadingDesign::ALL.to_vec()),
+        prop::sample::select(AccelerationStrategy::ALL.to_vec()),
+    )
+}
+
+/// An optionally-active fault plan plus recovery policy. Fault RNG is a
+/// separate derived stream, so pre-drawn workload sampling must stay
+/// exact under it.
+fn fault_strategy(horizon_hint: f64) -> impl Strategy<Value = (FaultPlan, RecoveryPolicy)> {
+    prop_oneof![
+        Just((FaultPlan::none(), RecoveryPolicy::none())),
+        (0.001..0.05_f64, 1u64..100).prop_map(move |(p, fseed)| {
+            (
+                FaultPlan {
+                    seed: fseed,
+                    failure_probability: p,
+                    spike_probability: p / 2.0,
+                    spike_cycles: 20_000.0,
+                    degradation: vec![DegradationWindow::downtime(
+                        horizon_hint * 0.3,
+                        horizon_hint * 0.5,
+                    )],
+                },
+                RecoveryPolicy {
+                    max_retries: 2,
+                    backoff_base_cycles: 1_000.0,
+                    timeout_cycles: Some(30_000.0),
+                    fallback_to_host: true,
+                    ..RecoveryPolicy::none()
+                },
+            )
+        }),
+    ]
+}
+
+fn config(
+    workload: WorkloadSpec,
+    seed: u64,
+    (design, strategy): (ThreadingDesign, AccelerationStrategy),
+    (fault, recovery): (FaultPlan, RecoveryPolicy),
+) -> SimConfig {
+    let horizon = workload.mean_request_cycles() * 4_000.0;
+    let threads = if design == ThreadingDesign::SyncOs { 8 } else { 2 };
+    SimConfig {
+        cores: 2,
+        threads,
+        context_switch_cycles: 300.0,
+        horizon,
+        seed,
+        workload,
+        offload: Some(OffloadConfig {
+            design,
+            strategy,
+            driver: DriverMode::Posted,
+            device: match strategy {
+                AccelerationStrategy::OnChip => DeviceKind::PerCore,
+                AccelerationStrategy::OffChip => DeviceKind::Shared { servers: 2 },
+                AccelerationStrategy::Remote => DeviceKind::Unlimited,
+            },
+            peak_speedup: 4.0,
+            interface_latency: 1_500.0,
+            setup_cycles: 25.0,
+            dispatch_pollution: 0.0,
+            min_offload_bytes: None,
+        }),
+        fault,
+        recovery,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Level 1: the sample bank is a pure reordering of *when* draws
+    /// happen, never of what they produce — every refill block size
+    /// (1 degenerates to the historical draw-per-request schedule)
+    /// yields identical metrics and engine counters.
+    #[test]
+    fn banked_runs_are_block_size_invariant(
+        workload in workload_strategy(),
+        design in design_strategy(),
+        faults in fault_strategy(50_000.0 * 300.0),
+        seed in 0u64..1_000,
+    ) {
+        let cfg = config(workload, seed, design, faults);
+        let mut reference = None;
+        for block in [1usize, 3, 64, 1_000] {
+            let mut sim = Simulator::try_new(cfg.clone()).expect("valid config");
+            sim.set_bank_block(block);
+            let got = sim.run_instrumented_in_place();
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => {
+                    prop_assert_eq!(&got.0, &want.0, "metrics diverged at block {}", block);
+                    prop_assert_eq!(
+                        sans_provenance(got.1),
+                        sans_provenance(want.1),
+                        "stats diverged at block {}",
+                        block
+                    );
+                }
+            }
+        }
+    }
+
+    /// Level 2: adopting a frozen trace of *any* prefix length — empty,
+    /// shorter than the run (exercising the resume-RNG continuation),
+    /// right-sized, or oversized — is bit-identical to direct drawing,
+    /// at construction and across `reset_with_trace` reuse.
+    #[test]
+    fn frozen_trace_runs_are_bit_identical(
+        workload in workload_strategy(),
+        design in design_strategy(),
+        faults in fault_strategy(50_000.0 * 300.0),
+        prefix in prop::sample::select(vec![0usize, 1, 7, 500, 100_000]),
+        seed in 0u64..1_000,
+    ) {
+        let cfg = config(workload, seed, design, faults);
+        let direct = Simulator::try_new(cfg.clone())
+            .expect("valid config")
+            .run_instrumented();
+        let trace = Arc::new(FrozenTrace::draw(cfg.seed, &cfg.workload, prefix));
+        let traced = Simulator::try_new_with_trace(cfg.clone(), Some(Arc::clone(&trace)))
+            .expect("matching trace")
+            .run_instrumented();
+        prop_assert_eq!(&traced.0, &direct.0, "metrics diverged at prefix {}", prefix);
+        prop_assert_eq!(
+            sans_provenance(traced.1),
+            sans_provenance(direct.1),
+            "stats diverged at prefix {}",
+            prefix
+        );
+
+        // Reset-and-reuse with the trace re-adopted (the sweep runners'
+        // path) must replay identically too.
+        let mut sim = Simulator::try_new(cfg.clone()).expect("valid config");
+        let _ = sim.run_instrumented_in_place();
+        sim.reset_with_trace(cfg, Some(trace)).expect("matching trace");
+        let reused = sim.run_instrumented_in_place();
+        prop_assert_eq!(&reused.0, &direct.0);
+        prop_assert_eq!(sans_provenance(reused.1), sans_provenance(direct.1));
+        prop_assert_eq!(reused.1.trace_requests_replayed, traced.1.trace_requests_replayed);
+    }
+
+    /// Sharded runs with a trace store — each shard looking up its
+    /// decorrelated derived seed — match the untraced sharded runner at
+    /// every worker-pool width.
+    #[test]
+    fn sharded_traced_runs_match_untraced(
+        workload in workload_strategy(),
+        faults in fault_strategy(50_000.0 * 300.0),
+        seed in 0u64..1_000,
+    ) {
+        // cores 2 / threads 8 / servers 2 decomposes into 2 shards.
+        let mut cfg = config(
+            workload,
+            seed,
+            (ThreadingDesign::SyncOs, AccelerationStrategy::OffChip),
+            faults,
+        );
+        cfg.threads = 8;
+        let untraced = run_sharded(&ExecPool::new(1), &cfg).expect("valid config");
+        let store = TraceStore::eager();
+        for width in [1usize, 4] {
+            let traced = run_sharded_traced(&ExecPool::new(width), &cfg, Some(&store))
+                .expect("valid config");
+            prop_assert_eq!(&traced, &untraced, "diverged at width {}", width);
+        }
+    }
+}
+
+/// Installing a trace drawn for a different seed or workload must be a
+/// structured error, not silent divergence.
+#[test]
+fn mismatched_traces_are_rejected() {
+    let workload = WorkloadSpec {
+        non_kernel_cycles: 4_000.0,
+        kernels_per_request: 1,
+        granularity: GranularityCdf::from_points(vec![(512.0, 1.0)]).unwrap(),
+        cycles_per_byte: cycles_per_byte(2.0),
+    };
+    let cfg = SimConfig {
+        cores: 2,
+        threads: 2,
+        context_switch_cycles: 0.0,
+        horizon: 1e6,
+        seed: 1,
+        workload: workload.clone(),
+        offload: None,
+        fault: FaultPlan::none(),
+        recovery: RecoveryPolicy::none(),
+    };
+    let wrong_seed = Arc::new(FrozenTrace::draw(2, &workload, 16));
+    assert!(Simulator::try_new_with_trace(cfg.clone(), Some(wrong_seed.clone())).is_err());
+    let mut sim = Simulator::try_new(cfg.clone()).unwrap();
+    assert!(sim.reset_with_trace(cfg.clone(), Some(wrong_seed)).is_err());
+    let right = Arc::new(FrozenTrace::for_config(&cfg));
+    assert!(sim.reset_with_trace(cfg, Some(right)).is_ok());
+}

@@ -2,7 +2,9 @@
 # Benchmark regression gate: re-runs the recorded benches and fails if
 # any benchmark's mean — raw and/or 10%-trimmed, whichever the committed
 # record keeps — regresses more than the tolerance versus the committed
-# BENCH_*.json record.
+# BENCH_*.json record. Records that also keep a paired `before` array
+# first get a before/after speedup table printed from the record itself,
+# so the ratios cited in CHANGES.md are reproducible from one command.
 #
 # Usage: scripts/bench_regress.sh
 #
@@ -34,6 +36,27 @@ for record in BENCH_engine.json BENCH_parallel.json BENCH_kernels.json; do
         continue
     }
     bench_name=$(basename "$record" .json | sed 's/^BENCH_//')
+    # Records that carry a paired `before` array (measured in the same
+    # session as `results`, per-side medians of trimmed means) get their
+    # recorded speedup ratios re-derived and printed here, so the claims
+    # in CHANGES.md reproduce from this one command instead of living
+    # only in the record's summary block.
+    if jq -e '.before? | length > 0' "$record" >/dev/null 2>&1; then
+        echo "== $bench_name: recorded paired before/after ratios =="
+        { jq -r '.before[] | "BASE\t\(.id)\t\(.trimmed_mean_ns // .mean_ns)"' "$record"
+          jq -r '.results[] | "CUR\t\(.id)\t\(.trimmed_mean_ns // .mean_ns)"' "$record"
+        } | awk -F'\t' '
+            $1 == "BASE" { base[$2] = $3; order[n++] = $2; next }
+            $1 == "CUR" { cur[$2] = $3 }
+            END {
+                printf "%-52s %14s %14s %9s\n", "benchmark", "before_ns", "after_ns", "speedup"
+                for (i = 0; i < n; i++) {
+                    id = order[i]
+                    if (!(id in cur)) { printf "%-52s %14.0f %14s %9s\n", id, base[id], "-", "-"; continue }
+                    printf "%-52s %14.0f %14.0f %8.2fx\n", id, base[id], cur[id], base[id] / cur[id]
+                }
+            }'
+    fi
     echo "== $bench_name: re-running (budget ${CRITERION_BUDGET_MS} ms, tolerance ${TOLERANCE_PCT}%) =="
     out=$(cargo bench -q -p accelerometer-bench --bench "$bench_name" 2>/dev/null | grep '^BENCHJSON ' | sed 's/^BENCHJSON //')
     if [ -z "$out" ]; then

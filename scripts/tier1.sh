@@ -44,6 +44,16 @@ cmp "$out_dir/faults_s1.json" "$out_dir/faults_s4.json"
 printf '\n' | cat crates/cli/tests/fixtures/golden_faults_sharded.json - > "$out_dir/faults_sharded_expected.json"
 cmp "$out_dir/faults_sharded_expected.json" "$out_dir/faults_s1.json"
 
+echo "== trace-reuse smoke: accelctl faults with reuse on and off must match byte-for-byte =="
+# Cross-point frozen-trace reuse replays pre-drawn requests instead of
+# redrawing them at every sweep grid point; the toggle must be
+# unobservable in output bytes (sharded too, where each shard adopts a
+# trace for its derived seed).
+./target/release/accelctl --trace-reuse on faults > "$out_dir/faults_reuse_on.json"
+./target/release/accelctl --trace-reuse off faults > "$out_dir/faults_reuse_off.json"
+cmp "$out_dir/faults_reuse_on.json" "$out_dir/faults_reuse_off.json"
+cmp "$out_dir/faults_expected.json" "$out_dir/faults_reuse_on.json"
+
 if [ "${BENCH_REGRESS:-0}" = "1" ]; then
     echo "== bench regression gate (opt-in) =="
     sh scripts/bench_regress.sh

@@ -93,6 +93,10 @@ pub struct Bencher {
     mean_ns: f64,
     trimmed_mean_ns: f64,
     iters: u64,
+    /// Samples the trimmed mean actually averaged (kept iterations minus
+    /// both trimmed tails) — the measurement effort behind the headline
+    /// number, reported so recorded results carry their own weight.
+    trimmed_samples: u64,
 }
 
 impl Bencher {
@@ -121,7 +125,9 @@ impl Bencher {
         self.mean_ns = mean(kept);
         kept.sort_unstable();
         let trim = kept.len() / 10;
-        self.trimmed_mean_ns = mean(&kept[trim..kept.len() - trim]);
+        let trimmed = &kept[trim..kept.len() - trim];
+        self.trimmed_samples = trimmed.len() as u64;
+        self.trimmed_mean_ns = mean(trimmed);
     }
 }
 
@@ -182,15 +188,18 @@ fn run_one<F: FnMut(&mut Bencher)>(full_id: &str, throughput: Option<Throughput>
         mean_ns: 0.0,
         trimmed_mean_ns: 0.0,
         iters: 0,
+        trimmed_samples: 0,
     };
     f(&mut bencher);
     // The trimmed mean is the headline number; the raw mean rides along
-    // for comparison (a large gap between them flags a noisy run).
+    // for comparison (a large gap between them flags a noisy run), and
+    // the sample count behind the trimmed mean shows measurement effort.
     let mut line = format!(
-        "{full_id:<48} time: {:>12}   (raw {}, {} iters)",
+        "{full_id:<48} time: {:>12}   (raw {}, {} iters, {} samples)",
         human_time(bencher.trimmed_mean_ns),
         human_time(bencher.mean_ns),
-        bencher.iters
+        bencher.iters,
+        bencher.trimmed_samples
     );
     let mut extra = String::new();
     if let Some(tp) = throughput {
@@ -211,8 +220,8 @@ fn run_one<F: FnMut(&mut Bencher)>(full_id: &str, throughput: Option<Throughput>
     // speedup available) are self-explaining in recorded JSON.
     let cores = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
     println!(
-        "BENCHJSON {{\"id\":\"{full_id}\",\"mean_ns\":{:.1},\"trimmed_mean_ns\":{:.1},\"iters\":{},\"cores\":{cores}{extra}}}",
-        bencher.mean_ns, bencher.trimmed_mean_ns, bencher.iters
+        "BENCHJSON {{\"id\":\"{full_id}\",\"mean_ns\":{:.1},\"trimmed_mean_ns\":{:.1},\"iters\":{},\"samples\":{},\"cores\":{cores}{extra}}}",
+        bencher.mean_ns, bencher.trimmed_mean_ns, bencher.iters, bencher.trimmed_samples
     );
 }
 
