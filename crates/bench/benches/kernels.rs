@@ -151,6 +151,45 @@ fn bench_allocator(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_kvstore(c: &mut Criterion) {
+    // The first non-crypto consumer of the dispatch layer: a cache
+    // microservice's hot path is the shard probe, which the SSE2 path
+    // scans 16 tags at a time. Populated well past one SIMD lane-width
+    // per shard so the probe loop actually iterates.
+    let mut store = accelerometer_kernels::kvstore::KvStore::new(8);
+    let keys: Vec<Vec<u8>> = (0..1024)
+        .map(|i| format!("object:{i:05}").into_bytes())
+        .collect();
+    for (i, key) in keys.iter().enumerate() {
+        store.set(key, data(64 + i % 128), 3_600, 0);
+    }
+    let mut group = c.benchmark_group("kernels/kvstore");
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    group.bench_function("get_hit_1k", |b| {
+        b.iter(|| {
+            for key in &keys {
+                black_box(store.get(black_box(key), 1));
+            }
+        })
+    });
+    group.bench_function("get_miss_1k", |b| {
+        b.iter(|| {
+            for i in 0..keys.len() {
+                let key = format!("absent:{i:05}");
+                black_box(store.get(black_box(key.as_bytes()), 1));
+            }
+        })
+    });
+    group.bench_function("set_overwrite_1k", |b| {
+        b.iter(|| {
+            for key in &keys {
+                store.set(black_box(key), data(64), 3_600, 1);
+            }
+        })
+    });
+    group.finish();
+}
+
 fn bench_memcpy(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernels/memcpy");
     for &size in &[64usize, 512, 4096] {
@@ -179,6 +218,7 @@ criterion_group!(
     bench_hashing,
     bench_mlp,
     bench_allocator,
+    bench_kvstore,
     bench_memcpy
 );
 criterion_main!(benches);

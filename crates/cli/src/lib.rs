@@ -43,15 +43,16 @@ use accelerometer::{
 };
 use accelerometer_fleet::params::all_recommendations;
 use accelerometer_fleet::{all_case_studies, profile, ServiceId};
+use accelerometer_kernels::dispatch;
 use accelerometer_profiler::{analyze, to_folded, TraceGenerator};
 use accelerometer_sim::faultsweep::demo_scenario;
 use accelerometer_sim::{
-    run_fault_sweep, set_default_shards, set_trace_reuse, simulate, validate_all, FaultScenario,
-    SimError, CASE_STUDY_NAMES,
+    run_fault_sweep, set_default_shards, set_trace_reuse, simulate, validate_all, Calibrator,
+    FaultScenario, SimError, CASE_STUDY_NAMES,
 };
 
 /// Top-level usage text.
-pub const USAGE: &str = "usage: accelctl [--jobs N] [--shards N] [--trace-reuse on|off] <command> [args]
+pub const USAGE: &str = "usage: accelctl [--jobs N] [--shards N] [--trace-reuse on|off] [--isa scalar|auto] <command> [args]
 global flags:
   --jobs N                        worker threads for independent runs
                                   (default: available parallelism; results
@@ -67,6 +68,11 @@ global flags:
                                   settings are byte-identical; off exists
                                   to prove it and to measure the sampling
                                   cost it removes
+  --isa scalar|auto               pin the measured kernels' ISA dispatch
+                                  (default: auto, or KERNELS_FORCE_SCALAR=1).
+                                  Kernel outputs are bit-identical either
+                                  way; only wall-clock changes, which is
+                                  what `calibrate` measures
 commands:
   estimate <config.json>          evaluate scenarios from a parameter file
   breakeven --cb <c/B> --a <A> [--o0 N] [--l N] [--q N] [--o1 N]
@@ -77,6 +83,10 @@ commands:
   characterize <service> [--samples N] [--seed N] [--folded]
   validate [--seed N] [--case C]  Table 6 A/B validation in the simulator
                                   (C: aes-ni | encryption | inference)
+  calibrate                       measure the case-study kernels on this
+                                  host, both ISA tiers paired in the same
+                                  session; prints per-kernel cycles/byte
+                                  and the measured acceleration factor
   faults [scenario.json] [--seed N]   fault-injection sweep across recovery
                                   policies; JSON report, byte-identical at
                                   any --jobs width
@@ -96,10 +106,12 @@ pub fn run(args: &[String]) -> Result<String, String> {
     let args = apply_jobs_flag(args)?;
     let args = apply_shards_flag(&args)?;
     let args = apply_trace_reuse_flag(&args)?;
+    let args = apply_isa_flag(&args)?;
     let args = args.as_slice();
     let mut it = args.iter().map(String::as_str);
     match it.next() {
         Some("estimate") => cmd_estimate(&args[1..]),
+        Some("calibrate") => Ok(cmd_calibrate()),
         Some("breakeven") => cmd_breakeven(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("project") => Ok(cmd_project()),
@@ -178,6 +190,64 @@ fn apply_trace_reuse_flag(args: &[String]) -> Result<Vec<String>, String> {
     }
     args.drain(i..=i + 1);
     Ok(args)
+}
+
+/// Strips the global `--isa scalar|auto` flag, pinning the kernel
+/// crate's runtime ISA dispatch. `scalar` forces every kernel onto its
+/// scalar reference path (the same effect as `KERNELS_FORCE_SCALAR=1`);
+/// `auto` uses whatever the host exposes. Kernel outputs are
+/// bit-identical either way — the mode changes only wall-clock, which
+/// is exactly what `calibrate` measures.
+fn apply_isa_flag(args: &[String]) -> Result<Vec<String>, String> {
+    let mut args = args.to_vec();
+    let Some(i) = args.iter().position(|a| a == "--isa") else {
+        return Ok(args);
+    };
+    let value = args
+        .get(i + 1)
+        .ok_or("--isa requires a value (scalar or auto)")?;
+    match value.as_str() {
+        "scalar" => dispatch::set_isa_mode(dispatch::IsaMode::Scalar),
+        "auto" => dispatch::set_isa_mode(dispatch::IsaMode::Auto),
+        other => return Err(format!("--isa expects 'scalar' or 'auto', got '{other}'")),
+    }
+    args.drain(i..=i + 1);
+    Ok(args)
+}
+
+/// `accelctl calibrate`: measure every case-study kernel on this host,
+/// pairing the dispatched and scalar tiers in the same session so the
+/// printed acceleration factor is a genuine A/B (same buffers, same
+/// driver, same scheduler weather). Numbers are timing-dependent by
+/// nature — this command is the interactive companion to the committed
+/// `BENCH_kernels.json` medians, not a golden output.
+fn cmd_calibrate() -> String {
+    // The paper's 2 GHz busy frequency; matches the harness convention.
+    let cal = Calibrator::new(2.0e9, 32, 16);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "host ISA: detected {} | active {}\n",
+        dispatch::detected_summary(),
+        dispatch::active_summary()
+    ));
+    out.push_str(&format!(
+        "{:<12} {:>16} {:>16} {:>8}\n",
+        "kernel", "dispatched c/B", "scalar c/B", "factor"
+    ));
+    for pair in cal.paired_case_studies() {
+        out.push_str(&format!(
+            "{:<12} {:>16.4} {:>16.4} {:>7.2}x\n",
+            pair.dispatched.name,
+            pair.dispatched.cycles_per_byte().get(),
+            pair.scalar.cycles_per_byte().get(),
+            pair.acceleration_factor()
+        ));
+    }
+    out.push_str(
+        "factor = scalar/dispatched cycles per byte; < 1.00x means the\n\
+         SIMD path loses at this granularity (reported honestly).",
+    );
+    out
 }
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
@@ -545,6 +615,35 @@ mod tests {
         assert!(run(&args(&["--jobs", "zero", "help"])).is_err());
         assert!(run(&args(&["--jobs", "0", "help"])).is_err());
         accelerometer::exec::set_default_jobs(0);
+    }
+
+    #[test]
+    fn isa_flag_is_global_and_validated() {
+        // The flag must strip cleanly ahead of any command and reject
+        // unknown modes before dispatch. Outputs are bit-identical at
+        // either setting (the kernels' equivalence suite proves that),
+        // so `help` is a sufficient carrier command here.
+        let out = run(&args(&["--isa", "scalar", "help"])).unwrap();
+        assert!(out.contains("usage:"), "{out}");
+        let out = run(&args(&["--isa", "auto", "help"])).unwrap();
+        assert!(out.contains("usage:"), "{out}");
+        assert!(run(&args(&["--isa"])).unwrap_err().contains("--isa"));
+        assert!(run(&args(&["--isa", "avx512", "help"]))
+            .unwrap_err()
+            .contains("avx512"));
+        // Leave the process in auto mode for any test that runs after.
+        dispatch::set_isa_mode(dispatch::IsaMode::Auto);
+    }
+
+    #[test]
+    fn calibrate_reports_all_paired_kernels() {
+        let out = run(&args(&["calibrate"])).unwrap();
+        for kernel in ["encryption", "compression", "hashing", "inference"] {
+            assert!(out.contains(kernel), "missing {kernel}:\n{out}");
+        }
+        assert!(out.contains("host ISA: detected"), "{out}");
+        // Honest-reporting footer: losses are printed, not hidden.
+        assert!(out.contains("reported honestly"), "{out}");
     }
 
     #[test]

@@ -4,6 +4,16 @@
 //! algorithms"; SHA-256 is the cryptographic representative (and the
 //! paper's SSL category leans on the same family via TLS), while FNV-1a
 //! stands in for the cheap hash-table hashes of §2.3.4.
+//!
+//! On hosts with the SHA extensions ([`crate::dispatch`]), the block
+//! compression runs on `sha256rnds2`/`sha256msg1`/`sha256msg2` — the
+//! same FIPS 180-4 function evaluated in hardware, so digests are
+//! byte-identical to the scalar rendering (which stays reachable as
+//! [`sha256_scalar`], the unaccelerated tier the model's `A` factor is
+//! measured against). FNV-1a is a strictly serial byte recurrence
+//! (each step's multiply depends on the previous) and has no profitable
+//! SIMD formulation that preserves the exact hash — it stays scalar by
+//! design.
 
 /// SHA-256 round constants (FIPS 180-4 §4.2.2).
 const K: [u32; 64] = [
@@ -125,11 +135,29 @@ macro_rules! rounds8 {
     };
 }
 
-/// Compresses one 64-byte block into the state (FIPS 180-4 §6.2.2).
+/// Compresses one 64-byte block into the state, dispatching to the
+/// SHA-NI data path when the host exposes it (identical output — the
+/// ISA evaluates the same FIPS 180-4 function).
+fn compress_block(state: &mut [u32; 8], block: &[u8; 64]) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::dispatch::has(crate::dispatch::SHA | crate::dispatch::SSSE3 | crate::dispatch::SSE41)
+    {
+        // SAFETY: SHA-NI + SSSE3 + SSE4.1 presence was checked above.
+        #[allow(unsafe_code)]
+        unsafe {
+            simd::compress_block(state, block);
+        }
+        return;
+    }
+    compress_block_scalar(state, block);
+}
+
+/// Compresses one 64-byte block into the state (FIPS 180-4 §6.2.2) —
+/// the scalar tier.
 ///
 /// Fully unrolled, with a 16-word rolling schedule computed inline with
 /// the rounds instead of a separate 64-entry array pass.
-fn compress_block(state: &mut [u32; 8], block: &[u8; 64]) {
+fn compress_block_scalar(state: &mut [u32; 8], block: &[u8; 64]) {
     let mut w = [0u32; 16];
     for (wi, word) in w.iter_mut().zip(block.chunks_exact(4)) {
         *wi = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
@@ -249,6 +277,174 @@ pub fn sha256(data: &[u8]) -> [u8; 32] {
     let mut hasher = Sha256::new();
     hasher.update(data);
     hasher.finalize()
+}
+
+/// [`sha256`] pinned to the scalar compression tier regardless of what
+/// the host exposes: the unaccelerated-host reference the harness
+/// measures the SHA-NI acceleration factor against, and the oracle the
+/// equivalence tests compare the dispatched digest to. (The padding
+/// driver here is deliberately small and is itself pinned against the
+/// streaming path by those same tests.)
+#[must_use]
+pub fn sha256_scalar(data: &[u8]) -> [u8; 32] {
+    let mut state = H0;
+    let mut chunks = data.chunks_exact(64);
+    for chunk in &mut chunks {
+        compress_block_scalar(&mut state, chunk.try_into().expect("64-byte chunk"));
+    }
+    let rem = chunks.remainder();
+    let mut block = [0u8; 64];
+    block[..rem.len()].copy_from_slice(rem);
+    block[rem.len()] = 0x80;
+    if rem.len() + 1 > 56 {
+        compress_block_scalar(&mut state, &block);
+        block = [0u8; 64];
+    }
+    block[56..].copy_from_slice(&(data.len() as u64).wrapping_mul(8).to_be_bytes());
+    compress_block_scalar(&mut state, &block);
+    let mut digest = [0u8; 32];
+    for (i, word) in state.iter().enumerate() {
+        digest[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    digest
+}
+
+/// The SHA-NI compression path: `sha256rnds2` executes two FIPS 180-4
+/// rounds per invocation over an (ABEF, CDGH) register split, and
+/// `sha256msg1`/`sha256msg2` advance the message schedule four words at
+/// a time. This is the canonical instruction sequence for the
+/// extension; it computes exactly §6.2.2, so the chaining state it
+/// produces is bit-identical to [`compress_block_scalar`]'s (the NIST
+/// known-answer tests and the scalar-equivalence proptests both pin
+/// it).
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod simd {
+    use std::arch::x86_64::{
+        __m128i, _mm_add_epi32, _mm_alignr_epi8, _mm_blend_epi16, _mm_loadu_si128,
+        _mm_set_epi64x, _mm_sha256msg1_epu32, _mm_sha256msg2_epu32, _mm_sha256rnds2_epu32,
+        _mm_shuffle_epi32, _mm_shuffle_epi8, _mm_storeu_si128,
+    };
+
+    use super::K;
+
+    /// Four round constants `K[t..t+4]` as one vector.
+    #[inline]
+    #[target_feature(enable = "sha,ssse3,sse4.1")]
+    unsafe fn kload(t: usize) -> __m128i {
+        unsafe { _mm_loadu_si128(K.as_ptr().add(t).cast()) }
+    }
+
+    /// Four schedule-advancing rounds `t..t+4`: consume `$cur`
+    /// (`w[t..t+4]`), finish `$next` (`w[t+4..t+8]`) with
+    /// `alignr`+`msg2`, and start `$prev`'s successor with `msg1`.
+    macro_rules! sched4 {
+        ($state0:ident, $state1:ident, $cur:ident, $next:ident, $prev:ident, $t:expr) => {
+            let msg = _mm_add_epi32($cur, kload($t));
+            $state1 = _mm_sha256rnds2_epu32($state1, $state0, msg);
+            let tmp = _mm_alignr_epi8($cur, $prev, 4);
+            $next = _mm_add_epi32($next, tmp);
+            $next = _mm_sha256msg2_epu32($next, $cur);
+            let msg = _mm_shuffle_epi32(msg, 0x0E);
+            $state0 = _mm_sha256rnds2_epu32($state0, $state1, msg);
+            $prev = _mm_sha256msg1_epu32($prev, $cur);
+        };
+    }
+
+    /// As [`sched4!`] for the last schedule rounds (48–59), where no
+    /// further `msg1` prefetch is needed.
+    macro_rules! sched4_tail {
+        ($state0:ident, $state1:ident, $cur:ident, $next:ident, $prev:ident, $t:expr) => {
+            let msg = _mm_add_epi32($cur, kload($t));
+            $state1 = _mm_sha256rnds2_epu32($state1, $state0, msg);
+            let tmp = _mm_alignr_epi8($cur, $prev, 4);
+            $next = _mm_add_epi32($next, tmp);
+            $next = _mm_sha256msg2_epu32($next, $cur);
+            let msg = _mm_shuffle_epi32(msg, 0x0E);
+            $state0 = _mm_sha256rnds2_epu32($state0, $state1, msg);
+        };
+    }
+
+    /// # Safety
+    /// Caller must have verified SHA + SSSE3 + SSE4.1 at runtime.
+    #[target_feature(enable = "sha,ssse3,sse4.1")]
+    pub unsafe fn compress_block(state: &mut [u32; 8], block: &[u8; 64]) {
+        // Byte shuffle turning each big-endian message dword into a
+        // native-order schedule word.
+        let mask = _mm_set_epi64x(0x0c0d_0e0f_0809_0a0bu64 as i64, 0x0405_0607_0001_0203u64 as i64);
+
+        unsafe {
+            // Pack [a,b,c,d],[e,f,g,h] into the (ABEF, CDGH) split the
+            // rnds2 instruction works on.
+            let tmp = _mm_loadu_si128(state.as_ptr().cast());
+            let mut state1 = _mm_loadu_si128(state.as_ptr().add(4).cast());
+            let tmp = _mm_shuffle_epi32(tmp, 0xB1);
+            let mut state1v = _mm_shuffle_epi32(state1, 0x1B);
+            let mut state0 = _mm_alignr_epi8(tmp, state1v, 8);
+            state1 = _mm_blend_epi16(state1v, tmp, 0xF0);
+
+            let abef_save = state0;
+            let cdgh_save = state1;
+
+            // Rounds 0–3.
+            let mut m0 = _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().cast()), mask);
+            let msg = _mm_add_epi32(m0, kload(0));
+            state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+            let msg = _mm_shuffle_epi32(msg, 0x0E);
+            state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+            // Rounds 4–7.
+            let mut m1 = _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(16).cast()), mask);
+            let msg = _mm_add_epi32(m1, kload(4));
+            state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+            let msg = _mm_shuffle_epi32(msg, 0x0E);
+            state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+            m0 = _mm_sha256msg1_epu32(m0, m1);
+
+            // Rounds 8–11.
+            let mut m2 = _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(32).cast()), mask);
+            let msg = _mm_add_epi32(m2, kload(8));
+            state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+            let msg = _mm_shuffle_epi32(msg, 0x0E);
+            state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+            m1 = _mm_sha256msg1_epu32(m1, m2);
+
+            // Rounds 12–51: the steady-state schedule recurrence.
+            let mut m3 = _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(48).cast()), mask);
+            sched4!(state0, state1, m3, m0, m2, 12);
+            sched4!(state0, state1, m0, m1, m3, 16);
+            sched4!(state0, state1, m1, m2, m0, 20);
+            sched4!(state0, state1, m2, m3, m1, 24);
+            sched4!(state0, state1, m3, m0, m2, 28);
+            sched4!(state0, state1, m0, m1, m3, 32);
+            sched4!(state0, state1, m1, m2, m0, 36);
+            sched4!(state0, state1, m2, m3, m1, 40);
+            sched4!(state0, state1, m3, m0, m2, 44);
+            sched4!(state0, state1, m0, m1, m3, 48);
+
+            // Rounds 52–59: schedule winds down (the `msg1` chain has
+            // produced everything `w[60..64]` needs by round 51).
+            sched4_tail!(state0, state1, m1, m2, m0, 52);
+            sched4_tail!(state0, state1, m2, m3, m1, 56);
+
+            // Rounds 60–63.
+            let msg = _mm_add_epi32(m3, kload(60));
+            state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+            let msg = _mm_shuffle_epi32(msg, 0x0E);
+            state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+            state0 = _mm_add_epi32(state0, abef_save);
+            state1 = _mm_add_epi32(state1, cdgh_save);
+
+            // Unpack (ABEF, CDGH) back to [a..d], [e..h].
+            let tmp = _mm_shuffle_epi32(state0, 0x1B);
+            state1v = _mm_shuffle_epi32(state1, 0xB1);
+            let out0 = _mm_blend_epi16(tmp, state1v, 0xF0);
+            let out1 = _mm_alignr_epi8(state1v, tmp, 8);
+            _mm_storeu_si128(state.as_mut_ptr().cast(), out0);
+            _mm_storeu_si128(state.as_mut_ptr().add(4).cast(), out1);
+        }
+    }
 }
 
 /// FNV-1a 64-bit hash: the cheap hash-table hash.

@@ -9,10 +9,15 @@
 //! paper's "application logic vs orchestration" split.
 //!
 //! The design mirrors a memcached-style store at small scale: FNV-sharded
-//! buckets, per-shard maps, logical-clock TTLs, and LRU-free lazy
-//! expiry with stats for hit/miss/expired accounting.
-
-use std::collections::HashMap;
+//! buckets, logical-clock TTLs, and LRU-free lazy expiry with stats for
+//! hit/miss/expired accounting. Each shard is a flat tag-probed table —
+//! one tag byte per entry (the top byte of the key's FNV-1a hash, so
+//! the hash is computed once and reused for shard choice and tag)
+//! scanned ahead of the full key comparison, the open-addressing idiom
+//! of swisstable-style maps. The tag scan runs sixteen-wide on SSE2
+//! via [`crate::dispatch`]; candidate positions are visited in the same
+//! ascending order as the scalar scan, so lookups behave identically on
+//! both tiers.
 
 use crate::codec::KvMessage;
 use crate::hash::fnv1a_64;
@@ -45,8 +50,98 @@ impl KvStats {
 
 #[derive(Debug, Clone)]
 struct Entry {
+    key: Vec<u8>,
     value: Vec<u8>,
     expires_at: u64,
+}
+
+/// One flat tag-probed bucket: `tags[i]` is the hash tag of
+/// `entries[i]`, kept in a separate dense array so a lookup scans 16
+/// tag bytes per SSE2 step (or byte-at-a-time on the scalar tier) and
+/// only touches an entry — a pointer-chasing key comparison — on a tag
+/// hit. Keys are unique, so at most one tag candidate survives the
+/// comparison.
+#[derive(Debug, Default)]
+struct Shard {
+    tags: Vec<u8>,
+    entries: Vec<Entry>,
+}
+
+impl Shard {
+    /// Index of `key`'s entry, probing tags in ascending order — the
+    /// dispatched probe visits candidates in exactly this order, so
+    /// both tiers return identical indices.
+    fn find(&self, key: &[u8], tag: u8, simd: bool) -> Option<usize> {
+        #[cfg(target_arch = "x86_64")]
+        if simd {
+            // SAFETY: `simd` is only set after runtime SSE2 detection.
+            #[allow(unsafe_code)]
+            return unsafe { simd::find(&self.tags, &self.entries, key, tag) };
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = simd;
+        self.find_scalar(key, tag)
+    }
+
+    fn find_scalar(&self, key: &[u8], tag: u8) -> Option<usize> {
+        for (i, (&t, entry)) in self.tags.iter().zip(&self.entries).enumerate() {
+            if t == tag && entry.key == key {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Removes entry `i` in O(1); order is not preserved, which lookups
+    /// never observe (keys are unique).
+    fn remove(&mut self, i: usize) {
+        self.tags.swap_remove(i);
+        self.entries.swap_remove(i);
+    }
+}
+
+/// The 16-wide tag probe. SSE2 is unconditionally present on x86_64;
+/// it still routes through [`crate::dispatch`] so the forced-scalar
+/// tier exercises the scalar scan.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod simd {
+    use std::arch::x86_64::{_mm_cmpeq_epi8, _mm_loadu_si128, _mm_movemask_epi8, _mm_set1_epi8};
+
+    use super::Entry;
+
+    /// Scans 16 tag bytes per step; `cmpeq`+`movemask` yields a
+    /// candidate bitmap whose set bits are visited in ascending order
+    /// (clearing the lowest each time), so the first key match found is
+    /// the same index the scalar scan returns.
+    ///
+    /// # Safety
+    /// Caller must have verified SSE2 at runtime (always true on
+    /// x86_64) and `tags.len() == entries.len()`.
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn find(tags: &[u8], entries: &[Entry], key: &[u8], tag: u8) -> Option<usize> {
+        let needle = _mm_set1_epi8(tag as i8);
+        let mut i = 0;
+        while i + 16 <= tags.len() {
+            // SAFETY: `i + 16 <= tags.len()` bounds the load.
+            let v = unsafe { _mm_loadu_si128(tags.as_ptr().add(i).cast()) };
+            let mut mask = _mm_movemask_epi8(_mm_cmpeq_epi8(v, needle)) as u32;
+            while mask != 0 {
+                let j = i + mask.trailing_zeros() as usize;
+                if entries[j].key == key {
+                    return Some(j);
+                }
+                mask &= mask - 1;
+            }
+            i += 16;
+        }
+        for (j, entry) in entries.iter().enumerate().skip(i) {
+            if tags[j] == tag && entry.key == key {
+                return Some(j);
+            }
+        }
+        None
+    }
 }
 
 /// The sharded store. Time is a logical clock advanced by the caller
@@ -54,7 +149,7 @@ struct Entry {
 /// simulations.
 #[derive(Debug)]
 pub struct KvStore {
-    shards: Vec<HashMap<Vec<u8>, Entry>>,
+    shards: Vec<Shard>,
     stats: KvStats,
 }
 
@@ -63,38 +158,66 @@ impl KvStore {
     #[must_use]
     pub fn new(shards: usize) -> Self {
         Self {
-            shards: (0..shards.max(1)).map(|_| HashMap::new()).collect(),
+            shards: (0..shards.max(1)).map(|_| Shard::default()).collect(),
             stats: KvStats::default(),
         }
     }
 
-    fn shard_mut(&mut self, key: &[u8]) -> &mut HashMap<Vec<u8>, Entry> {
-        let idx = (fnv1a_64(key) % self.shards.len() as u64) as usize;
-        &mut self.shards[idx]
+    /// One hash, used twice: shard index from the low bits (mod), probe
+    /// tag from the top byte — independent bit ranges, so tags spread
+    /// within a shard.
+    fn locate(&self, key: &[u8]) -> (usize, u8) {
+        let h = fnv1a_64(key);
+        ((h % self.shards.len() as u64) as usize, (h >> 56) as u8)
     }
 
     /// Stores `value` under `key`, expiring `ttl_seconds` after `now`.
     /// A zero TTL stores an immediately-expired tombstone.
     pub fn set(&mut self, key: &[u8], value: Vec<u8>, ttl_seconds: u64, now: u64) {
+        let simd = crate::dispatch::has(crate::dispatch::SSE2);
         let expires_at = now.saturating_add(ttl_seconds);
-        self.shard_mut(key).insert(
-            key.to_vec(),
-            Entry { value, expires_at },
-        );
+        let (idx, tag) = self.locate(key);
+        let shard = &mut self.shards[idx];
+        match shard.find(key, tag, simd) {
+            Some(i) => {
+                shard.entries[i].value = value;
+                shard.entries[i].expires_at = expires_at;
+            }
+            None => {
+                shard.tags.push(tag);
+                shard.entries.push(Entry {
+                    key: key.to_vec(),
+                    value,
+                    expires_at,
+                });
+            }
+        }
         self.stats.sets += 1;
     }
 
     /// Fetches a live value, lazily evicting expired entries.
     pub fn get(&mut self, key: &[u8], now: u64) -> Option<Vec<u8>> {
-        let shard = self.shard_mut(key);
-        match shard.get(key) {
-            Some(entry) if entry.expires_at > now => {
-                let value = entry.value.clone();
+        self.get_with(key, now, crate::dispatch::has(crate::dispatch::SSE2))
+    }
+
+    /// [`KvStore::get`] pinned to the scalar probe, regardless of the
+    /// dispatch mode — the reference tier the equivalence tests compare
+    /// against. Results and stats transitions are identical.
+    pub fn get_scalar(&mut self, key: &[u8], now: u64) -> Option<Vec<u8>> {
+        self.get_with(key, now, false)
+    }
+
+    fn get_with(&mut self, key: &[u8], now: u64, simd: bool) -> Option<Vec<u8>> {
+        let (idx, tag) = self.locate(key);
+        let shard = &mut self.shards[idx];
+        match shard.find(key, tag, simd) {
+            Some(i) if shard.entries[i].expires_at > now => {
+                let value = shard.entries[i].value.clone();
                 self.stats.hits += 1;
                 Some(value)
             }
-            Some(_) => {
-                shard.remove(key);
+            Some(i) => {
+                shard.remove(i);
                 self.stats.expired += 1;
                 self.stats.misses += 1;
                 None
@@ -137,7 +260,7 @@ impl KvStore {
     /// Live (possibly expired-but-unswept) entries.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.shards.iter().map(HashMap::len).sum()
+        self.shards.iter().map(|s| s.entries.len()).sum()
     }
 
     /// Whether the store holds no entries.
@@ -152,9 +275,19 @@ impl KvStore {
     pub fn sweep_expired(&mut self, now: u64) -> usize {
         let mut evicted = 0;
         for shard in &mut self.shards {
-            let before = shard.len();
-            shard.retain(|_, entry| entry.expires_at > now);
-            evicted += before - shard.len();
+            let before = shard.entries.len();
+            // In-place compaction keeping both arrays in lockstep.
+            let mut kept = 0;
+            for i in 0..before {
+                if shard.entries[i].expires_at > now {
+                    shard.entries.swap(kept, i);
+                    shard.tags.swap(kept, i);
+                    kept += 1;
+                }
+            }
+            shard.entries.truncate(kept);
+            shard.tags.truncate(kept);
+            evicted += before - kept;
         }
         evicted
     }
@@ -246,8 +379,36 @@ mod tests {
             store.set(format!("key:{i}").as_bytes(), vec![1], 100, 0);
         }
         // Every shard got something (FNV spreads these keys).
-        assert!(store.shards.iter().all(|s| !s.is_empty()));
+        assert!(store.shards.iter().all(|s| !s.entries.is_empty()));
         assert_eq!(store.len(), 1_000);
+    }
+
+    #[test]
+    fn dispatched_probe_matches_scalar_probe() {
+        // One shard forces every key into the same tag array, deep
+        // enough (200 entries) that the 16-wide probe loop and its tail
+        // both run; get vs get_scalar must agree on hits, misses,
+        // expiry evictions, and stats at every step.
+        let mut a = KvStore::new(1);
+        let mut b = KvStore::new(1);
+        for i in 0..200u32 {
+            let key = format!("key:{i}");
+            let ttl = u64::from(10 + i % 20);
+            a.set(key.as_bytes(), key.as_bytes().to_vec(), ttl, 0);
+            b.set(key.as_bytes(), key.as_bytes().to_vec(), ttl, 0);
+        }
+        for now in [5u64, 15, 25, 40] {
+            for i in 0..220u32 {
+                let key = format!("key:{i}");
+                assert_eq!(
+                    a.get(key.as_bytes(), now),
+                    b.get_scalar(key.as_bytes(), now),
+                    "probe divergence at key {i} now {now}"
+                );
+            }
+            assert_eq!(a.stats(), b.stats());
+            assert_eq!(a.len(), b.len());
+        }
     }
 
     #[test]

@@ -17,7 +17,14 @@
 //!   frame) with per-stage byte accounting;
 //! * [`kvstore`] — the Cache services' application logic: a sharded,
 //!   TTL-aware key-value store served over the pipeline;
-//! * [`harness`] — wall-time → cycles measurement to derive `Cb` and `A`.
+//! * [`harness`] — wall-time → cycles measurement to derive `Cb` and `A`;
+//! * [`dispatch`] — runtime ISA dispatch: kernels use the host's
+//!   AES-NI/SHA-NI/AVX2 paths when present (scalar otherwise), with
+//!   `KERNELS_FORCE_SCALAR=1` / [`dispatch::set_isa_mode`] forcing the
+//!   scalar reference tier. Every hardware path is bit-identical to its
+//!   scalar counterpart, so the mode only changes wall-clock — the
+//!   scalar tier is the paper's "unaccelerated host" baseline and the
+//!   dispatched tier is what the `A` factor is measured against.
 //!
 //! ```
 //! use accelerometer_kernels::{aes, harness::Harness};
@@ -31,11 +38,16 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `unsafe` is denied workspace-wide (not `forbid`, which would be
+// unoverridable): the only allowed exceptions are the `simd` submodules
+// below, which call `std::arch` intrinsics behind `#[target_feature]`
+// functions that [`dispatch`] guards with runtime feature detection.
+#![deny(unsafe_code)]
 
 pub mod aes;
 pub mod alloc;
 pub mod codec;
+pub mod dispatch;
 pub mod harness;
 pub mod hash;
 pub mod kvstore;

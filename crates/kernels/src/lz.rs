@@ -66,19 +66,37 @@ fn hash4(data: &[u8]) -> usize {
 /// Length of the common prefix of `input[candidate..]` and
 /// `input[pos..]`, capped at `max_len`.
 ///
-/// Extends eight bytes per step by comparing `u64` words; on the first
-/// differing word, the trailing zeros of the XOR locate the exact first
-/// differing byte (little-endian loads put the lowest-addressed byte in
-/// the least significant position). The result — the longest common
-/// prefix, capped — is exactly what the old byte-at-a-time loop
-/// computed, so the emitted token stream is byte-identical; the
-/// `lz_golden` fixture test pins that.
+/// When `avx2` is set (the caller hoists the [`crate::dispatch`] check
+/// out of the hot loop), extension runs 32 bytes per step on the AVX2
+/// path; either way the result is the longest common prefix, capped —
+/// exactly what the byte-at-a-time loop computes — so the emitted token
+/// stream is byte-identical; the `lz_golden` fixture test pins that.
 ///
 /// Caller guarantees `candidate < pos` and `pos + max_len <=
-/// input.len()`, so every 8-byte load below stays in bounds.
+/// input.len()`, so every wide load below stays in bounds.
 #[inline]
-fn match_length(input: &[u8], candidate: usize, pos: usize, max_len: usize) -> usize {
-    let mut len = 0;
+fn match_length(input: &[u8], candidate: usize, pos: usize, max_len: usize, avx2: bool) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    if avx2 {
+        // SAFETY: `avx2` is only set after runtime AVX2 detection, and
+        // the caller's bounds contract covers every 32-byte load.
+        #[allow(unsafe_code)]
+        return unsafe { simd::match_length(input, candidate, pos, max_len) };
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = avx2;
+    match_length_from(input, candidate, pos, max_len, 0)
+}
+
+/// Scalar match extension from an already-matched prefix of `start`
+/// bytes: eight bytes per step by comparing `u64` words; on the first
+/// differing word, the trailing zeros of the XOR locate the exact first
+/// differing byte (little-endian loads put the lowest-addressed byte in
+/// the least significant position). Also the tail the AVX2 path falls
+/// into once fewer than 32 bytes remain.
+#[inline]
+fn match_length_from(input: &[u8], candidate: usize, pos: usize, max_len: usize, start: usize) -> usize {
+    let mut len = start;
     while len + 8 <= max_len {
         let a = u64::from_le_bytes(
             input[candidate + len..candidate + len + 8]
@@ -96,6 +114,72 @@ fn match_length(input: &[u8], candidate: usize, pos: usize, max_len: usize) -> u
         len += 1;
     }
     len
+}
+
+/// AVX2 helpers for the matcher. Both are *strategy-preserving*: they
+/// compute exactly the values the scalar code computes (same match
+/// lengths, same hash values, same table-insertion order), so every
+/// token stream stays byte-identical across ISA tiers.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod simd {
+    use std::arch::x86_64::{
+        _mm256_cmpeq_epi8, _mm256_loadu_si256, _mm256_movemask_epi8, _mm256_mullo_epi32,
+        _mm256_set1_epi32, _mm256_set_m128i, _mm256_srli_epi32, _mm256_storeu_si256,
+        _mm_loadu_si128,
+    };
+
+    use super::HASH_BITS;
+
+    /// 32-bytes-per-step match extension. `cmpeq`+`movemask` yields an
+    /// equality bitmap per 32-byte window; the first zero bit (trailing
+    /// zeros of the complement) is the exact first differing byte, so
+    /// the result equals the scalar longest-common-prefix byte for byte.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 at runtime and guarantee
+    /// `candidate < pos` and `pos + max_len <= input.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn match_length(input: &[u8], candidate: usize, pos: usize, max_len: usize) -> usize {
+        let base = input.as_ptr();
+        let mut len = 0;
+        while len + 32 <= max_len {
+            let diff = unsafe {
+                let a = _mm256_loadu_si256(base.add(candidate + len).cast());
+                let b = _mm256_loadu_si256(base.add(pos + len).cast());
+                !(_mm256_movemask_epi8(_mm256_cmpeq_epi8(a, b)) as u32)
+            };
+            if diff != 0 {
+                return len + diff.trailing_zeros() as usize;
+            }
+            len += 32;
+        }
+        super::match_length_from(input, candidate, pos, max_len, len)
+    }
+
+    /// [`super::hash4`] of the eight stride-2 positions `p, p+2, ...,
+    /// p+14` in one shot: two overlapping 16-byte loads provide the
+    /// eight little-endian `u32`s, and `mullo`/`srli` reproduce the
+    /// scalar `wrapping_mul` / shift exactly. `out[0..4]` holds the
+    /// hashes of `p, p+4, p+8, p+12` and `out[4..8]` those of `p+2,
+    /// p+6, p+10, p+14` (the low/high loads in lane order).
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 at runtime and guarantee
+    /// `p + 18 <= input.len()` (the upper load reads `p+2..p+18`).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn hash8_stride2(input: &[u8], p: usize, out: &mut [u32; 8]) {
+        let h = unsafe {
+            let lo = _mm_loadu_si128(input.as_ptr().add(p).cast());
+            let hi = _mm_loadu_si128(input.as_ptr().add(p + 2).cast());
+            let v = _mm256_set_m128i(hi, lo);
+            _mm256_srli_epi32(
+                _mm256_mullo_epi32(v, _mm256_set1_epi32(0x9E37_79B1u32 as i32)),
+                32 - HASH_BITS as i32,
+            )
+        };
+        unsafe { _mm256_storeu_si256(out.as_mut_ptr().cast(), h) };
+    }
 }
 
 /// Reusable compressor state: the hash-chain head table, stamped with a
@@ -214,15 +298,29 @@ impl HeadTable for TaggedHead<'_> {
     }
 }
 
-/// Compresses `input`, returning the token stream.
+/// Compresses `input`, returning the token stream. Uses the AVX2
+/// matcher when [`crate::dispatch`] reports it; the stream is
+/// byte-identical either way.
 #[must_use]
 pub fn compress(input: &[u8]) -> Vec<u8> {
+    compress_with(input, crate::dispatch::has(crate::dispatch::AVX2))
+}
+
+/// Compresses `input` on the scalar reference path, regardless of the
+/// dispatch mode — the explicit "unaccelerated host" baseline the
+/// equivalence tests and the calibrator's paired measurements use.
+#[must_use]
+pub fn compress_scalar(input: &[u8]) -> Vec<u8> {
+    compress_with(input, false)
+}
+
+fn compress_with(input: &[u8], avx2: bool) -> Vec<u8> {
     let mut out = Vec::with_capacity(input.len() / 2 + 16);
     let mut head = vec![usize::MAX; 1 << HASH_BITS];
     let head: &mut [usize; 1 << HASH_BITS] = (&mut head[..])
         .try_into()
         .expect("table has 1 << HASH_BITS slots");
-    compress_core(input, &mut FreshHead(head), &mut out);
+    compress_core(input, &mut FreshHead(head), &mut out, avx2);
     out
 }
 
@@ -232,6 +330,18 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
 /// [`compress`]'s: both run [`compress_core`] over an initially-empty
 /// head table.
 pub fn compress_into(input: &[u8], scratch: &mut LzScratch, out: &mut Vec<u8>) {
+    compress_into_with(input, scratch, out, crate::dispatch::has(crate::dispatch::AVX2));
+}
+
+/// [`compress_into`] pinned to the scalar matcher regardless of the
+/// dispatch mode — the same driver, so the calibrator's paired
+/// scalar-vs-dispatched measurements differ only in the match kernel.
+/// The stream stays byte-identical to every other entry point's.
+pub fn compress_into_scalar(input: &[u8], scratch: &mut LzScratch, out: &mut Vec<u8>) {
+    compress_into_with(input, scratch, out, false);
+}
+
+fn compress_into_with(input: &[u8], scratch: &mut LzScratch, out: &mut Vec<u8>, avx2: bool) {
     out.clear();
     let tag = scratch.begin();
     // Fixed-size view: `hash4` yields `HASH_BITS`-bit indices, so with
@@ -239,13 +349,13 @@ pub fn compress_into(input: &[u8], scratch: &mut LzScratch, out: &mut Vec<u8>) {
     let head: &mut [u64; 1 << HASH_BITS] = (&mut scratch.head[..])
         .try_into()
         .expect("table has 1 << HASH_BITS slots");
-    compress_core(input, &mut TaggedHead { head, tag }, out);
+    compress_core(input, &mut TaggedHead { head, tag }, out, avx2);
 }
 
 /// The greedy matcher shared by [`compress`] and [`compress_into`]:
 /// everything except the head-table representation, so the two public
 /// entry points cannot drift apart.
-fn compress_core<T: HeadTable>(input: &[u8], head: &mut T, out: &mut Vec<u8>) {
+fn compress_core<T: HeadTable>(input: &[u8], head: &mut T, out: &mut Vec<u8>, avx2: bool) {
     let mut literal_start = 0usize;
     let mut pos = 0usize;
 
@@ -267,7 +377,7 @@ fn compress_core<T: HeadTable>(input: &[u8], head: &mut T, out: &mut Vec<u8>) {
             let candidate = head.swap(h, pos);
             if candidate != usize::MAX && pos - candidate < WINDOW {
                 let max_len = remaining.min(MAX_MATCH);
-                let len = match_length(input, candidate, pos, max_len);
+                let len = match_length(input, candidate, pos, max_len, avx2);
                 if len >= MIN_MATCH {
                     matched = Some((pos - candidate, len));
                 }
@@ -281,6 +391,25 @@ fn compress_core<T: HeadTable>(input: &[u8], head: &mut T, out: &mut Vec<u8>) {
             // them (cheap partial insertion: every other position).
             let end = pos + len;
             let mut p = pos + 1;
+            #[cfg(target_arch = "x86_64")]
+            if avx2 {
+                // Eight stride-2 hashes per step; inserted in ascending
+                // position order (interleaving the low/high load lanes)
+                // so slot overwrites match the scalar loop exactly.
+                while p + 14 < end && p + 18 <= input.len() {
+                    let mut hashes = [0u32; 8];
+                    // SAFETY: AVX2 verified by dispatch; the loop bound
+                    // keeps the `p+2..p+18` load in range.
+                    #[allow(unsafe_code)]
+                    unsafe {
+                        simd::hash8_stride2(input, p, &mut hashes);
+                    }
+                    for k in 0..8 {
+                        head.insert(hashes[(k % 2) * 4 + k / 2] as usize, p + 2 * k);
+                    }
+                    p += 16;
+                }
+            }
             while p + MIN_MATCH <= input.len() && p < end {
                 head.insert(hash4(&input[p..]), p);
                 p += 2;
@@ -498,6 +627,20 @@ mod tests {
             assert_eq!(out, compress(input), "scratch stream diverged");
             decompress_into(&out, &mut back).expect("round trip");
             assert_eq!(&back, input);
+        }
+    }
+
+    #[test]
+    fn dispatched_stream_matches_scalar_stream() {
+        // The full adversarial-size sweep lives in the simd_equivalence
+        // integration tests; this pins the basics in-crate.
+        for data in [
+            b"abcdefgh".repeat(500),
+            b"the quick brown fox jumps over the lazy dog ".repeat(100),
+            vec![b'a'; 1000],
+            (0u32..8192).map(|i| (i.wrapping_mul(2_654_435_761) >> 24) as u8).collect(),
+        ] {
+            assert_eq!(compress(&data), compress_scalar(&data));
         }
     }
 

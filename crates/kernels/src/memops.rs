@@ -90,13 +90,40 @@ impl OpCounter {
     }
 }
 
-/// Copies `src` into `dst`, attributing the bytes to `tag`.
+/// Copies `src` into `dst`, attributing the bytes to `tag`. Dispatches
+/// to an explicit AVX2 copy loop when [`crate::dispatch`] reports AVX2;
+/// byte-identical to [`copy_scalar`] (it is a copy), and measured
+/// honestly: libc's `memcpy` behind `copy_from_slice` is already
+/// vectorized, so the explicit path is about breaking even, not
+/// winning — see EXPERIMENTS.md.
 ///
 /// # Panics
 ///
 /// Panics if the slices differ in length (mirroring `memcpy`'s
 /// fixed-count contract).
 pub fn copy(counter: &mut OpCounter, tag: &str, dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "copy length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if crate::dispatch::has(crate::dispatch::AVX2) {
+        // SAFETY: AVX2 verified at runtime; lengths asserted equal.
+        #[allow(unsafe_code)]
+        unsafe {
+            simd::copy(dst, src);
+        }
+        counter.record(MemOp::Copy, tag, src.len());
+        return;
+    }
+    dst.copy_from_slice(src);
+    counter.record(MemOp::Copy, tag, src.len());
+}
+
+/// [`copy`] pinned to the scalar reference path (`copy_from_slice`,
+/// i.e. libc `memcpy`), regardless of the dispatch mode.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn copy_scalar(counter: &mut OpCounter, tag: &str, dst: &mut [u8], src: &[u8]) {
     assert_eq!(dst.len(), src.len(), "copy length mismatch");
     dst.copy_from_slice(src);
     counter.record(MemOp::Copy, tag, src.len());
@@ -126,11 +153,88 @@ pub fn set(counter: &mut OpCounter, tag: &str, dst: &mut [u8], value: u8) {
     counter.record(MemOp::Set, tag, dst.len());
 }
 
-/// Compares two buffers, returning their ordering.
+/// Compares two buffers, returning their ordering. On the AVX2 path the
+/// common prefix is scanned 32 bytes per step and the first differing
+/// byte decides (falling back to length order) — exactly the
+/// lexicographic ordering `<[u8]>::cmp` computes, so the result is
+/// identical across ISA tiers.
 #[must_use]
 pub fn compare(counter: &mut OpCounter, tag: &str, a: &[u8], b: &[u8]) -> std::cmp::Ordering {
     counter.record(MemOp::Compare, tag, a.len().min(b.len()));
+    #[cfg(target_arch = "x86_64")]
+    if crate::dispatch::has(crate::dispatch::AVX2) {
+        // SAFETY: AVX2 verified at runtime.
+        #[allow(unsafe_code)]
+        let first_diff = unsafe { simd::first_diff(a, b) };
+        return match first_diff {
+            Some(i) => a[i].cmp(&b[i]),
+            None => a.len().cmp(&b.len()),
+        };
+    }
     a.cmp(b)
+}
+
+/// [`compare`] pinned to the scalar reference path (`<[u8]>::cmp`, i.e.
+/// libc `memcmp`), regardless of the dispatch mode.
+#[must_use]
+pub fn compare_scalar(counter: &mut OpCounter, tag: &str, a: &[u8], b: &[u8]) -> std::cmp::Ordering {
+    counter.record(MemOp::Compare, tag, a.len().min(b.len()));
+    a.cmp(b)
+}
+
+/// AVX2 loops for [`copy`] and [`compare`].
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod simd {
+    use std::arch::x86_64::{
+        _mm256_cmpeq_epi8, _mm256_loadu_si256, _mm256_movemask_epi8, _mm256_storeu_si256,
+    };
+
+    /// 32-bytes-per-step copy with a `copy_from_slice` tail.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 at runtime and that the slices
+    /// have equal length.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn copy(dst: &mut [u8], src: &[u8]) {
+        let len = src.len();
+        let mut i = 0;
+        while i + 32 <= len {
+            // SAFETY: `i + 32 <= len` bounds both sides.
+            unsafe {
+                let v = _mm256_loadu_si256(src.as_ptr().add(i).cast());
+                _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), v);
+            }
+            i += 32;
+        }
+        dst[i..].copy_from_slice(&src[i..]);
+    }
+
+    /// Index of the first byte where `a` and `b` differ within their
+    /// common prefix, scanning 32 bytes per step (`cmpeq`+`movemask`;
+    /// trailing zeros of the complement locate the byte), `None` if the
+    /// shorter slice is a prefix of the longer.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 at runtime.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn first_diff(a: &[u8], b: &[u8]) -> Option<usize> {
+        let n = a.len().min(b.len());
+        let mut i = 0;
+        while i + 32 <= n {
+            // SAFETY: `i + 32 <= n` bounds both loads.
+            let diff = unsafe {
+                let va = _mm256_loadu_si256(a.as_ptr().add(i).cast());
+                let vb = _mm256_loadu_si256(b.as_ptr().add(i).cast());
+                !(_mm256_movemask_epi8(_mm256_cmpeq_epi8(va, vb)) as u32)
+            };
+            if diff != 0 {
+                return Some(i + diff.trailing_zeros() as usize);
+            }
+            i += 32;
+        }
+        (i..n).find(|&j| a[j] != b[j])
+    }
 }
 
 #[cfg(test)]
@@ -185,6 +289,28 @@ mod tests {
         let (invocations, bytes) = c.total(MemOp::Compare);
         assert_eq!(invocations, 3);
         assert_eq!(bytes, 3 + 2 + 3);
+    }
+
+    #[test]
+    fn dispatched_ops_match_scalar() {
+        // Sizes straddling the 32-byte vector width, plus ordering cases
+        // decided in the tail and by length.
+        let mut c = OpCounter::new();
+        for len in [0usize, 1, 31, 32, 33, 64, 100] {
+            let a: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
+            let mut b = a.clone();
+            let mut dst = vec![0u8; len];
+            copy(&mut c, "t", &mut dst, &a);
+            assert_eq!(dst, a);
+            assert_eq!(compare(&mut c, "t", &a, &b), Ordering::Equal);
+            if len > 0 {
+                let flip = len - 1;
+                b[flip] ^= 0xFF;
+                assert_eq!(compare(&mut c, "t", &a, &b), a.cmp(&b));
+                assert_eq!(compare(&mut c, "t", &b, &a), b.cmp(&a));
+            }
+            assert_eq!(compare(&mut c, "t", &a, &a[..len / 2]), a[..].cmp(&a[..len / 2]));
+        }
     }
 
     #[test]

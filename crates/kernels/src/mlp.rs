@@ -207,8 +207,16 @@ impl Layer {
     /// Forward pass for one input. `output` is cleared and refilled.
     ///
     /// Per output neuron the accumulation runs `bias + Σ wᵢ·xᵢ` in
-    /// ascending `i`, identically under both layouts.
-    fn forward(&self, input: &[f32], output: &mut Vec<f32>) {
+    /// ascending `i`, identically under both layouts — and identically
+    /// on the AVX2 path (`simd`), where the transposed layout runs
+    /// eight output neurons per vector, each lane its own ascending-`i`
+    /// mul-then-add chain, so the f32 results are bit-identical. The
+    /// row-major single-input pass is one serial dependency chain per
+    /// output and stays scalar by design (vectorizing it would
+    /// re-associate the sum).
+    fn forward(&self, input: &[f32], output: &mut Vec<f32>, simd: bool) {
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = simd;
         output.clear();
         match self.layout {
             WeightLayout::RowMajor => {
@@ -222,6 +230,20 @@ impl Layer {
                 }
             }
             WeightLayout::Transposed => {
+                #[cfg(target_arch = "x86_64")]
+                if simd {
+                    output.resize(self.outputs, 0.0);
+                    // SAFETY: `simd` is only set after runtime AVX2
+                    // detection; slice lengths are validated shapes.
+                    #[allow(unsafe_code)]
+                    unsafe {
+                        simd::forward_transposed(&self.weights, &self.biases, input, output);
+                    }
+                    for acc in output.iter_mut() {
+                        *acc = self.activation.apply(*acc);
+                    }
+                    return;
+                }
                 output.extend_from_slice(&self.biases);
                 for (i, &x) in input.iter().enumerate() {
                     let col = &self.weights[i * self.outputs..(i + 1) * self.outputs];
@@ -249,8 +271,10 @@ impl Layer {
     /// order is exactly [`Layer::forward`]'s — `bias + Σ wᵢ·xᵢ` in
     /// ascending `i` — so batch outputs are bit-identical to
     /// `batch_len` scalar passes.
-    fn forward_batch(&self, input: &[f32], batch_len: usize, output: &mut Vec<f32>) {
+    fn forward_batch(&self, input: &[f32], batch_len: usize, output: &mut Vec<f32>, simd: bool) {
         debug_assert_eq!(input.len(), batch_len * self.inputs);
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = simd;
         output.clear();
         if batch_len == 0 {
             return;
@@ -264,6 +288,20 @@ impl Layer {
                     let yrow = &mut output[o * batch_len..(o + 1) * batch_len];
                     let mut b0 = 0;
                     while b0 + 8 <= batch_len {
+                        #[cfg(target_arch = "x86_64")]
+                        if simd {
+                            // SAFETY: `simd` is only set after runtime
+                            // AVX2 detection; `b0 + 8 <= batch_len`
+                            // bounds every lane load.
+                            #[allow(unsafe_code)]
+                            let acc =
+                                unsafe { simd::row_batch8(row, bias, input, batch_len, b0) };
+                            for (y, a) in yrow[b0..b0 + 8].iter_mut().zip(acc) {
+                                *y = self.activation.apply(a);
+                            }
+                            b0 += 8;
+                            continue;
+                        }
                         let mut acc = [bias; 8];
                         for (&w, xrow) in row.iter().zip(input.chunks_exact(batch_len)) {
                             let x: &[f32; 8] =
@@ -287,6 +325,25 @@ impl Layer {
                 }
             }
             WeightLayout::Transposed => {
+                #[cfg(target_arch = "x86_64")]
+                if simd {
+                    // SAFETY: `simd` is only set after runtime AVX2
+                    // detection; shapes are validated at construction.
+                    #[allow(unsafe_code)]
+                    unsafe {
+                        simd::forward_batch_transposed(
+                            &self.weights,
+                            &self.biases,
+                            input,
+                            batch_len,
+                            output,
+                        );
+                    }
+                    for y in output.iter_mut() {
+                        *y = self.activation.apply(*y);
+                    }
+                    return;
+                }
                 for (o, &bias) in self.biases.iter().enumerate() {
                     output[o * batch_len..(o + 1) * batch_len].fill(bias);
                 }
@@ -304,6 +361,172 @@ impl Layer {
                 for y in output.iter_mut() {
                     *y = self.activation.apply(*y);
                 }
+            }
+        }
+    }
+}
+
+/// AVX2 micro-kernels for [`Layer`]. Every kernel keeps each output
+/// neuron's accumulation a mul-then-add chain over ascending input
+/// index starting from the bias — exactly the scalar order — so f32
+/// results are bit-identical (`_mm256_mul_ps` + `_mm256_add_ps` per
+/// element is the same two roundings as `acc + w * x`; no FMA, which
+/// would contract them into one). Activations are applied by the caller
+/// through the scalar [`Activation::apply`] pass.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod simd {
+    use std::arch::x86_64::{
+        _mm256_add_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_set1_ps, _mm256_storeu_ps,
+    };
+
+    /// Eight batch lanes of one row-major output neuron: lane `j`
+    /// accumulates `bias + Σᵢ row[i]·input[i·B + b0 + j]` in ascending
+    /// `i` — the vector register is exactly the scalar code's
+    /// `[bias; 8]` accumulator array.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 at runtime and guarantee
+    /// `b0 + 8 <= batch_len` with `input.len() = inputs · batch_len`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn row_batch8(
+        row: &[f32],
+        bias: f32,
+        input: &[f32],
+        batch_len: usize,
+        b0: usize,
+    ) -> [f32; 8] {
+        let mut acc = _mm256_set1_ps(bias);
+        for (i, &w) in row.iter().enumerate() {
+            let wv = _mm256_set1_ps(w);
+            // SAFETY: `i·B + b0 + 8 <= inputs·B = input.len()`.
+            let x = unsafe { _mm256_loadu_ps(input.as_ptr().add(i * batch_len + b0)) };
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(wv, x));
+        }
+        let mut out = [0.0f32; 8];
+        // SAFETY: `out` is exactly 32 bytes.
+        unsafe { _mm256_storeu_ps(out.as_mut_ptr(), acc) };
+        out
+    }
+
+    /// Transposed single-input forward, vectorized across output
+    /// neurons: each vector holds eight contiguous outputs of one
+    /// weight column slab, each lane its own ascending-`i` chain.
+    /// Raw accumulations only — the caller applies the activation.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 at runtime;
+    /// `weights.len() = input.len() · biases.len()` and
+    /// `output.len() = biases.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn forward_transposed(
+        weights: &[f32],
+        biases: &[f32],
+        input: &[f32],
+        output: &mut [f32],
+    ) {
+        let outputs = biases.len();
+        let mut o0 = 0;
+        while o0 + 8 <= outputs {
+            // SAFETY: `o0 + 8 <= outputs` bounds the bias load, the
+            // column loads (`i·O + o0 + 8 <= (i+1)·O`) and the store.
+            unsafe {
+                let mut acc = _mm256_loadu_ps(biases.as_ptr().add(o0));
+                for (i, &x) in input.iter().enumerate() {
+                    let xv = _mm256_set1_ps(x);
+                    let w = _mm256_loadu_ps(weights.as_ptr().add(i * outputs + o0));
+                    acc = _mm256_add_ps(acc, _mm256_mul_ps(w, xv));
+                }
+                _mm256_storeu_ps(output.as_mut_ptr().add(o0), acc);
+            }
+            o0 += 8;
+        }
+        for o in o0..outputs {
+            let mut acc = biases[o];
+            for (i, &x) in input.iter().enumerate() {
+                acc += weights[i * outputs + o] * x;
+            }
+            output[o] = acc;
+        }
+    }
+
+    /// Transposed feature-major batch forward, vectorized across
+    /// output neurons and register-blocked four batch elements deep
+    /// (one column-slab load feeds four accumulators), so the weight
+    /// matrix streams `⌈B/4⌉` times instead of `B`. Lane `k` of
+    /// accumulator `j` is output `o0+k` of batch element `b0+j`, an
+    /// ascending-`i` chain from the bias. Raw accumulations only.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 at runtime;
+    /// `input.len() = inputs · batch_len`,
+    /// `weights.len() = inputs · biases.len()`, and
+    /// `output.len() = biases.len() · batch_len`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn forward_batch_transposed(
+        weights: &[f32],
+        biases: &[f32],
+        input: &[f32],
+        batch_len: usize,
+        output: &mut [f32],
+    ) {
+        let outputs = biases.len();
+        let inputs = input.len() / batch_len;
+        let mut o0 = 0;
+        while o0 + 8 <= outputs {
+            // SAFETY: `o0 + 8 <= outputs` bounds the bias and column
+            // loads as in `forward_transposed`.
+            let bias = unsafe { _mm256_loadu_ps(biases.as_ptr().add(o0)) };
+            let mut b0 = 0;
+            while b0 + 4 <= batch_len {
+                let (mut a0, mut a1, mut a2, mut a3) = (bias, bias, bias, bias);
+                for i in 0..inputs {
+                    // SAFETY: column load bounded as above.
+                    let w = unsafe { _mm256_loadu_ps(weights.as_ptr().add(i * outputs + o0)) };
+                    let xs = &input[i * batch_len + b0..i * batch_len + b0 + 4];
+                    a0 = _mm256_add_ps(a0, _mm256_mul_ps(w, _mm256_set1_ps(xs[0])));
+                    a1 = _mm256_add_ps(a1, _mm256_mul_ps(w, _mm256_set1_ps(xs[1])));
+                    a2 = _mm256_add_ps(a2, _mm256_mul_ps(w, _mm256_set1_ps(xs[2])));
+                    a3 = _mm256_add_ps(a3, _mm256_mul_ps(w, _mm256_set1_ps(xs[3])));
+                }
+                let mut lanes = [[0.0f32; 8]; 4];
+                // SAFETY: each destination is exactly 32 bytes.
+                unsafe {
+                    _mm256_storeu_ps(lanes[0].as_mut_ptr(), a0);
+                    _mm256_storeu_ps(lanes[1].as_mut_ptr(), a1);
+                    _mm256_storeu_ps(lanes[2].as_mut_ptr(), a2);
+                    _mm256_storeu_ps(lanes[3].as_mut_ptr(), a3);
+                }
+                for (j, lane) in lanes.iter().enumerate() {
+                    for (k, &v) in lane.iter().enumerate() {
+                        output[(o0 + k) * batch_len + b0 + j] = v;
+                    }
+                }
+                b0 += 4;
+            }
+            for b in b0..batch_len {
+                let mut acc = bias;
+                for i in 0..inputs {
+                    // SAFETY: column load bounded as above.
+                    let w = unsafe { _mm256_loadu_ps(weights.as_ptr().add(i * outputs + o0)) };
+                    acc = _mm256_add_ps(acc, _mm256_mul_ps(w, _mm256_set1_ps(input[i * batch_len + b])));
+                }
+                let mut lane = [0.0f32; 8];
+                // SAFETY: `lane` is exactly 32 bytes.
+                unsafe { _mm256_storeu_ps(lane.as_mut_ptr(), acc) };
+                for (k, &v) in lane.iter().enumerate() {
+                    output[(o0 + k) * batch_len + b] = v;
+                }
+            }
+            o0 += 8;
+        }
+        for o in o0..outputs {
+            for b in 0..batch_len {
+                let mut acc = biases[o];
+                for i in 0..inputs {
+                    acc += weights[i * outputs + o] * input[i * batch_len + b];
+                }
+                output[o * batch_len + b] = acc;
             }
         }
     }
@@ -440,6 +663,32 @@ impl Mlp {
         scratch: &mut MlpScratch,
         out: &mut Vec<f32>,
     ) -> Result<(), MlpError> {
+        self.infer_into_with(features, scratch, out, crate::dispatch::has(crate::dispatch::AVX2))
+    }
+
+    /// [`Mlp::infer`] pinned to the scalar reference path, regardless
+    /// of the dispatch mode. Bit-identical to [`Mlp::infer`] — the
+    /// equivalence tests and the calibrator's paired measurements rely
+    /// on both properties.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlpError::InputMismatch`] if the feature vector's length
+    /// differs from [`Mlp::input_width`].
+    pub fn infer_scalar(&self, features: &[f32]) -> Result<Vec<f32>, MlpError> {
+        let mut scratch = MlpScratch::new();
+        let mut out = Vec::new();
+        self.infer_into_with(features, &mut scratch, &mut out, false)?;
+        Ok(out)
+    }
+
+    fn infer_into_with(
+        &self,
+        features: &[f32],
+        scratch: &mut MlpScratch,
+        out: &mut Vec<f32>,
+        simd: bool,
+    ) -> Result<(), MlpError> {
         if features.len() != self.input_width() {
             return Err(MlpError::InputMismatch {
                 expected: self.input_width(),
@@ -449,7 +698,7 @@ impl Mlp {
         scratch.current.clear();
         scratch.current.extend_from_slice(features);
         for layer in &self.layers {
-            layer.forward(&scratch.current, &mut scratch.next);
+            layer.forward(&scratch.current, &mut scratch.next, simd);
             std::mem::swap(&mut scratch.current, &mut scratch.next);
         }
         out.clear();
@@ -479,6 +728,32 @@ impl Mlp {
         scratch: &mut MlpScratch,
         out: &mut Vec<f32>,
     ) -> Result<(), MlpError> {
+        self.forward_batch_with(batch, scratch, out, crate::dispatch::has(crate::dispatch::AVX2))
+    }
+
+    /// [`Mlp::forward_batch`] pinned to the scalar reference path,
+    /// regardless of the dispatch mode; bit-identical outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlpError::InputMismatch`] on the first mismatched
+    /// feature vector.
+    pub fn forward_batch_scalar(
+        &self,
+        batch: &[Vec<f32>],
+        scratch: &mut MlpScratch,
+        out: &mut Vec<f32>,
+    ) -> Result<(), MlpError> {
+        self.forward_batch_with(batch, scratch, out, false)
+    }
+
+    fn forward_batch_with(
+        &self,
+        batch: &[Vec<f32>],
+        scratch: &mut MlpScratch,
+        out: &mut Vec<f32>,
+        simd: bool,
+    ) -> Result<(), MlpError> {
         let width = self.input_width();
         for features in batch {
             if features.len() != width {
@@ -499,7 +774,7 @@ impl Mlp {
             }
         }
         for layer in &self.layers {
-            layer.forward_batch(&scratch.current, batch.len(), &mut scratch.next);
+            layer.forward_batch(&scratch.current, batch.len(), &mut scratch.next, simd);
             std::mem::swap(&mut scratch.current, &mut scratch.next);
         }
         let out_width = self.output_width();
@@ -638,6 +913,35 @@ mod tests {
                     from_batch.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
                 );
             }
+        }
+    }
+
+    #[test]
+    fn dispatched_inference_bit_identical_to_scalar() {
+        // Odd widths force the SIMD remainder paths; both layouts, both
+        // single and batched entry points. Bitwise equality, not
+        // approximate — the full sweep lives in simd_equivalence.
+        let mlp = Mlp::seeded_ranker(&[19, 13, 5], 77);
+        let batch: Vec<Vec<f32>> = (0..7)
+            .map(|i| (0..19).map(|j| ((i * 17 + j * 5) % 64) as f32 / 16.0 - 2.0).collect())
+            .collect();
+        for mlp in [mlp.clone(), mlp.with_layout(WeightLayout::Transposed)] {
+            for features in &batch {
+                let auto = mlp.infer(features).unwrap();
+                let scalar = mlp.infer_scalar(features).unwrap();
+                assert_eq!(
+                    auto.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    scalar.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                );
+            }
+            let mut scratch = MlpScratch::new();
+            let (mut a, mut s) = (Vec::new(), Vec::new());
+            mlp.forward_batch(&batch, &mut scratch, &mut a).unwrap();
+            mlp.forward_batch_scalar(&batch, &mut scratch, &mut s).unwrap();
+            assert_eq!(
+                a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                s.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            );
         }
     }
 

@@ -10,6 +10,15 @@
 //! path, so the measured cycles are the kernel's — not the allocator's
 //! or the timer's. The result plugs straight into a
 //! [`WorkloadSpec`](crate::workload::WorkloadSpec)'s `cycles_per_byte`.
+//!
+//! Since the kernels crate grew runtime ISA dispatch, the default
+//! calibration measures what the host hardware actually runs (AES-NI,
+//! SHA-NI, AVX2 where present). The [`PairedKernel`] API measures the
+//! same kernel through its public `*_scalar` entry point in the same
+//! session, yielding an honestly *measured* acceleration factor `A` —
+//! the quantity the paper's AES-NI case study models — instead of an
+//! assumed one. Both tiers produce bit-identical outputs, so the pair
+//! differs only in wall-clock.
 
 use accelerometer::units::CyclesPerByte;
 use accelerometer::KernelCost;
@@ -67,6 +76,28 @@ impl CalibratedKernel {
     pub fn apply_to(&self, mut spec: WorkloadSpec) -> WorkloadSpec {
         spec.cycles_per_byte = self.cycles_per_byte();
         spec
+    }
+}
+
+/// One kernel measured on both ISA tiers in the same session: the
+/// dispatched path (whatever the host exposes) and the scalar reference
+/// path, via the kernels' public `*_scalar` entry points. The ratio is
+/// the *measured* acceleration factor `A` of the paper's model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairedKernel {
+    /// Measured through the default (dispatched) entry point.
+    pub dispatched: CalibratedKernel,
+    /// Measured through the scalar reference entry point.
+    pub scalar: CalibratedKernel,
+}
+
+impl PairedKernel {
+    /// Measured acceleration factor: scalar `Cb` over dispatched `Cb`.
+    /// Greater than 1 when the hardware path wins; honestly below 1
+    /// when it loses (both happen — see EXPERIMENTS.md).
+    #[must_use]
+    pub fn acceleration_factor(&self) -> f64 {
+        self.scalar.cycles_per_byte().get() / self.dispatched.cycles_per_byte().get()
     }
 }
 
@@ -203,6 +234,163 @@ impl Calibrator {
             self.inference(&mlp, 16),
         ]
     }
+
+    /// [`Calibrator::encryption`] on both tiers: `ctr_apply` vs
+    /// `ctr_apply_scalar`, same buffer and driver. The dispatched side
+    /// is AES-NI where the host has it — the measured version of the
+    /// paper's AES-NI case-study `A`.
+    #[must_use]
+    pub fn encryption_paired(&self, payload_bytes: usize) -> PairedKernel {
+        let cipher = Aes128::new(&[0x42u8; 16]);
+        let mut buf = vec![0xA5u8; payload_bytes];
+        let dispatched = self.harness.measure_batched(
+            self.batches,
+            self.batch_size,
+            payload_bytes as u64,
+            || cipher.ctr_apply(&[7u8; 16], &mut buf),
+        );
+        let scalar = self.harness.measure_batched(
+            self.batches,
+            self.batch_size,
+            payload_bytes as u64,
+            || cipher.ctr_apply_scalar(&[7u8; 16], &mut buf),
+        );
+        PairedKernel {
+            dispatched: CalibratedKernel {
+                name: "encryption",
+                bytes_per_call: payload_bytes as u64,
+                measurement: dispatched,
+            },
+            scalar: CalibratedKernel {
+                name: "encryption",
+                bytes_per_call: payload_bytes as u64,
+                measurement: scalar,
+            },
+        }
+    }
+
+    /// [`Calibrator::hashing`] on both tiers (one-shot drivers on each
+    /// side): SHA-NI where the host has it.
+    #[must_use]
+    pub fn hashing_paired(&self, payload_bytes: usize) -> PairedKernel {
+        use accelerometer_kernels::hash;
+        let input = vec![0x5Au8; payload_bytes];
+        let dispatched = self.harness.measure_batched(
+            self.batches,
+            self.batch_size,
+            payload_bytes as u64,
+            || hash::sha256(&input),
+        );
+        let scalar = self.harness.measure_batched(
+            self.batches,
+            self.batch_size,
+            payload_bytes as u64,
+            || hash::sha256_scalar(&input),
+        );
+        PairedKernel {
+            dispatched: CalibratedKernel {
+                name: "hashing",
+                bytes_per_call: payload_bytes as u64,
+                measurement: dispatched,
+            },
+            scalar: CalibratedKernel {
+                name: "hashing",
+                bytes_per_call: payload_bytes as u64,
+                measurement: scalar,
+            },
+        }
+    }
+
+    /// [`Calibrator::compression`] on both tiers through the identical
+    /// scratch-reuse driver (`compress_into` vs `compress_into_scalar`),
+    /// so the pair differs only in the match kernel.
+    #[must_use]
+    pub fn compression_paired(&self, payload_bytes: usize) -> PairedKernel {
+        let input: Vec<u8> = (0..payload_bytes)
+            .map(|i| match i % 16 {
+                0..=7 => b'a' + (i % 8) as u8,
+                8..=11 => (i / 16 % 251) as u8,
+                _ => 0,
+            })
+            .collect();
+        let mut scratch = LzScratch::new();
+        let mut out = Vec::new();
+        let dispatched = self.harness.measure_batched(
+            self.batches,
+            self.batch_size,
+            payload_bytes as u64,
+            || lz::compress_into(&input, &mut scratch, &mut out),
+        );
+        let scalar = self.harness.measure_batched(
+            self.batches,
+            self.batch_size,
+            payload_bytes as u64,
+            || lz::compress_into_scalar(&input, &mut scratch, &mut out),
+        );
+        PairedKernel {
+            dispatched: CalibratedKernel {
+                name: "compression",
+                bytes_per_call: payload_bytes as u64,
+                measurement: dispatched,
+            },
+            scalar: CalibratedKernel {
+                name: "compression",
+                bytes_per_call: payload_bytes as u64,
+                measurement: scalar,
+            },
+        }
+    }
+
+    /// [`Calibrator::inference`] on both tiers (`forward_batch` vs
+    /// `forward_batch_scalar`, same batch and scratch).
+    #[must_use]
+    pub fn inference_paired(&self, mlp: &Mlp, b: usize) -> PairedKernel {
+        let width = mlp.input_width();
+        let batch: Vec<Vec<f32>> = (0..b)
+            .map(|i| (0..width).map(|j| (i * width + j) as f32 / 8192.0).collect())
+            .collect();
+        let bytes_per_call = (b * width * std::mem::size_of::<f32>()) as u64;
+        let mut scratch = MlpScratch::new();
+        let mut out = Vec::new();
+        let dispatched =
+            self.harness
+                .measure_batched(self.batches, self.batch_size, bytes_per_call, || {
+                    mlp.forward_batch(&batch, &mut scratch, &mut out)
+                        .expect("widths match")
+                });
+        let scalar =
+            self.harness
+                .measure_batched(self.batches, self.batch_size, bytes_per_call, || {
+                    mlp.forward_batch_scalar(&batch, &mut scratch, &mut out)
+                        .expect("widths match")
+                });
+        PairedKernel {
+            dispatched: CalibratedKernel {
+                name: "inference",
+                bytes_per_call,
+                measurement: dispatched,
+            },
+            scalar: CalibratedKernel {
+                name: "inference",
+                bytes_per_call,
+                measurement: scalar,
+            },
+        }
+    }
+
+    /// The paired (dispatched vs scalar) version of
+    /// [`Calibrator::case_studies`]: measured acceleration factors for
+    /// every case-study kernel family in one session.
+    #[must_use]
+    pub fn paired_case_studies(&self) -> Vec<PairedKernel> {
+        let mlp = Mlp::seeded_ranker(&[512, 256, 64, 1], 42);
+        vec![
+            self.encryption_paired(4096),
+            self.compression_paired(4096),
+            self.hashing_paired(4096),
+            self.inference_paired(&mlp, 16),
+        ]
+    }
 }
 
 #[cfg(test)]
@@ -238,6 +426,22 @@ mod tests {
         assert!(k.cycles_per_byte().get() > 0.0);
         let cost = k.kernel_cost();
         assert!(cost.host_cycles(bytes(1024.0)).get() > 0.0);
+    }
+
+    #[test]
+    fn paired_calibration_measures_both_tiers() {
+        // Plumbing, not statistics: both sides measured, factor finite
+        // and positive. Whether it exceeds 1 is timing-dependent at
+        // this tiny batch shape, so no threshold is asserted here —
+        // BENCH_kernels.json records the real paired medians.
+        for pair in quick().paired_case_studies() {
+            assert_eq!(pair.dispatched.name, pair.scalar.name);
+            assert_eq!(pair.dispatched.bytes_per_call, pair.scalar.bytes_per_call);
+            assert!(pair.dispatched.cycles_per_byte().get() > 0.0, "{}", pair.dispatched.name);
+            assert!(pair.scalar.cycles_per_byte().get() > 0.0, "{}", pair.scalar.name);
+            let a = pair.acceleration_factor();
+            assert!(a.is_finite() && a > 0.0, "{}: A = {a}", pair.dispatched.name);
+        }
     }
 
     #[test]

@@ -9,6 +9,23 @@
 //! below are calibrated once per acceleration strategy so the simulated
 //! "real" speedup lands where production did, and are documented in
 //! `EXPERIMENTS.md`; everything else follows from the Table 6 parameters.
+//!
+//! ## The measured AES-NI ratio vs Table 6's `A = 6`
+//!
+//! This repository now measures the AES-NI acceleration factor on its
+//! own host (`accelctl calibrate`, `BENCH_kernels.json`): scalar
+//! AES-128-CTR vs the AES-NI dispatch path is ~9x at 64 B rising to
+//! ~68x at 4 KiB (paired same-session medians). That is much larger
+//! than the paper's `A = 6` for Cache1, and both numbers are right:
+//! Table 6's baseline is production software AES — table-driven,
+//! hand-tuned, already fast — while our scalar tier is a portable
+//! constant-time reference implementation. `A` is always relative to
+//! the software it replaces, which is why the case studies keep the
+//! paper's fleet-measured `A = 6` (the model validation target) while
+//! the calibration path reports what *this* host's hardware does to
+//! *this* repo's scalar baseline. The gap itself reproduces a §4
+//! observation: the win from acceleration depends as much on the
+//! quality of the displaced software baseline as on the accelerator.
 
 use accelerometer::{AccelerationStrategy, DriverMode, ThreadingDesign};
 use accelerometer_fleet::{all_case_studies, CaseStudy};

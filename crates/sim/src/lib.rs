@@ -61,7 +61,7 @@ pub mod trace;
 pub mod workload;
 
 pub use abtest::{run_ab, AbResult};
-pub use calibrate::{CalibratedKernel, Calibrator};
+pub use calibrate::{CalibratedKernel, Calibrator, PairedKernel};
 pub use casestudy::{
     simulate, validate_all, validate_all_with, CaseStudyValidation, CASE_STUDY_NAMES,
 };

@@ -64,6 +64,20 @@ for record in BENCH_engine.json BENCH_parallel.json BENCH_kernels.json; do
         status=1
         continue
     fi
+    # ISA guard: a committed record measured with (say) AES-NI+AVX2 and
+    # a fresh run forced scalar — or taken on a host without those
+    # features — are measurements of different machines, not a
+    # regression signal. Refuse to compare rather than emit a bogus
+    # verdict. Records that predate the isa field ("unrecorded") are
+    # compared as before.
+    committed_isa=$(jq -r '.results[0].isa // .environment.isa // "unrecorded"' "$record")
+    fresh_isa=$(printf '%s\n' "$out" | head -n 1 | jq -r '.isa // "unrecorded"')
+    if [ "$committed_isa" != "unrecorded" ] && [ "$committed_isa" != "$fresh_isa" ]; then
+        echo "bench_regress: $bench_name ISA mismatch — record taken with '$committed_isa', this run dispatches '$fresh_isa'" >&2
+        echo "bench_regress: refusing to compare timings across instruction sets; re-record on this host or align KERNELS_FORCE_SCALAR" >&2
+        status=1
+        continue
+    fi
     # Join committed and fresh results by id, then let awk render the
     # readable diff and flag regressions beyond tolerance. Each mean the
     # committed record keeps — raw, 10%-trimmed, or both — is gated

@@ -13,6 +13,14 @@ cargo build --workspace --release
 echo "== tests =="
 cargo test --workspace -q
 
+echo "== kernels tests, forced-scalar tier (KERNELS_FORCE_SCALAR=1) =="
+# The workspace run above exercises auto ISA dispatch (whatever the host
+# exposes: AES-NI, SHA-NI, AVX2, ...). This second run pins every kernel
+# to its scalar reference path through the same public entry points, so
+# both dispatch tiers — and the env-var plumbing itself — stay covered
+# by the same equivalence suite.
+KERNELS_FORCE_SCALAR=1 cargo test -q -p accelerometer-kernels
+
 echo "== clippy (deny warnings, release) =="
 # Release profile so lint analysis sees the same cfg/codegen surface the
 # perf-sensitive release builds use (and shares the build cache with the
@@ -53,6 +61,15 @@ echo "== trace-reuse smoke: accelctl faults with reuse on and off must match byt
 ./target/release/accelctl --trace-reuse off faults > "$out_dir/faults_reuse_off.json"
 cmp "$out_dir/faults_reuse_on.json" "$out_dir/faults_reuse_off.json"
 cmp "$out_dir/faults_expected.json" "$out_dir/faults_reuse_on.json"
+
+echo "== isa smoke: accelctl --isa scalar and auto must match byte-for-byte =="
+# ISA dispatch may only change kernel wall-clock, never an output byte;
+# pinning the scalar tier through the CLI must be unobservable in any
+# deterministic command's output.
+./target/release/accelctl --isa scalar faults > "$out_dir/faults_isa_scalar.json"
+./target/release/accelctl --isa auto faults > "$out_dir/faults_isa_auto.json"
+cmp "$out_dir/faults_isa_scalar.json" "$out_dir/faults_isa_auto.json"
+cmp "$out_dir/faults_expected.json" "$out_dir/faults_isa_scalar.json"
 
 if [ "${BENCH_REGRESS:-0}" = "1" ]; then
     echo "== bench regression gate (opt-in) =="

@@ -150,6 +150,53 @@ fn warmup_iters() -> usize {
         .unwrap_or(5)
 }
 
+/// The ISA feature set the benchmarked kernels will dispatch to, in the
+/// same fixed `+`-joined order as the kernels crate's dispatch summary
+/// (`"scalar"` when nothing applies). Recorded in every BENCHJSON line
+/// so regression tooling can refuse to compare timings taken under
+/// different instruction sets — an AES-NI number and a scalar number
+/// measure different machines, not a regression.
+fn isa_summary() -> &'static str {
+    static ISA: OnceLock<String> = OnceLock::new();
+    ISA.get_or_init(|| {
+        if std::env::var("KERNELS_FORCE_SCALAR").as_deref() == Ok("1") {
+            return "scalar".to_owned();
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            // Fixed alphabetical order, matching dispatch::summary_of.
+            let mut features = Vec::new();
+            if std::arch::is_x86_feature_detected!("aes") {
+                features.push("aes");
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                features.push("avx2");
+            }
+            if std::arch::is_x86_feature_detected!("sha") {
+                features.push("sha");
+            }
+            if std::arch::is_x86_feature_detected!("sse2") {
+                features.push("sse2");
+            }
+            if std::arch::is_x86_feature_detected!("sse4.1") {
+                features.push("sse4.1");
+            }
+            if std::arch::is_x86_feature_detected!("ssse3") {
+                features.push("ssse3");
+            }
+            if features.is_empty() {
+                "scalar".to_owned()
+            } else {
+                features.join("+")
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            "scalar".to_owned()
+        }
+    })
+}
+
 /// Positional command-line arguments, used as benchmark-id substring
 /// filters. Flag-like arguments are dropped so the list stays empty
 /// (run everything) under a plain `cargo bench`.
@@ -220,8 +267,9 @@ fn run_one<F: FnMut(&mut Bencher)>(full_id: &str, throughput: Option<Throughput>
     // speedup available) are self-explaining in recorded JSON.
     let cores = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
     println!(
-        "BENCHJSON {{\"id\":\"{full_id}\",\"mean_ns\":{:.1},\"trimmed_mean_ns\":{:.1},\"iters\":{},\"samples\":{},\"cores\":{cores}{extra}}}",
-        bencher.mean_ns, bencher.trimmed_mean_ns, bencher.iters, bencher.trimmed_samples
+        "BENCHJSON {{\"id\":\"{full_id}\",\"mean_ns\":{:.1},\"trimmed_mean_ns\":{:.1},\"iters\":{},\"samples\":{},\"cores\":{cores},\"isa\":\"{}\"{extra}}}",
+        bencher.mean_ns, bencher.trimmed_mean_ns, bencher.iters, bencher.trimmed_samples,
+        isa_summary()
     );
 }
 
