@@ -324,10 +324,10 @@ pub fn pool_depth_with(pool: &ExecPool, seed: u64) -> (f64, Vec<PoolDepthRow>) {
 /// This quantifies the paper's motivation (§3, §6): "existing models fall
 /// short in the context of microservices as they assume that the CPU
 /// waits while the offload operates."
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PriorModelRow {
     /// Case study name.
-    pub name: &'static str,
+    pub name: String,
     /// What a blocking-offload (sync-assumption) model predicts (%).
     pub blocking_model_percent: f64,
     /// What Accelerometer predicts (%).
@@ -352,7 +352,7 @@ pub fn prior_model_comparison() -> Vec<PriorModelRow> {
                 scenario.driver,
             );
             PriorModelRow {
-                name: study.name,
+                name: study.name.clone(),
                 blocking_model_percent: blocking.throughput_gain_percent(),
                 accelerometer_percent: scenario.estimate().throughput_gain_percent(),
                 paper_real_percent: study.paper_real_percent,

@@ -1,14 +1,19 @@
-//! Runs the ablation studies: `ablations [--seed N] [--jobs N]`.
+//! Runs the ablation studies: `ablations [--seed N] [--jobs N]
+//! [--services <dir|file>]`.
 //!
 //! Prefer a release build — each ablation runs simulator A/B
 //! experiments: `cargo run --release -p accelerometer-bench --bin
 //! ablations`.
 
-use accelerometer_bench::apply_jobs_flag;
+use accelerometer_bench::{apply_jobs_flag, apply_services_flag};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if let Err(message) = apply_jobs_flag(&mut args) {
+        eprintln!("{message}");
+        std::process::exit(1);
+    }
+    if let Err(message) = apply_services_flag(&mut args) {
         eprintln!("{message}");
         std::process::exit(1);
     }

@@ -1,6 +1,7 @@
-//! Regenerates the paper's figures: `figures [figN ...|all] [--json] [--jobs N]`.
+//! Regenerates the paper's figures: `figures [figN ...|all] [--json]
+//! [--jobs N] [--services <dir|file>]`.
 
-use accelerometer_bench::{apply_jobs_flag, figure, figure_json, FIGURE_IDS};
+use accelerometer_bench::{apply_jobs_flag, apply_services_flag, figure, figure_json, FIGURE_IDS};
 use accelerometer_sim::parallel::ExecPool;
 
 /// One figure's printable output, computed off the main thread.
@@ -46,6 +47,10 @@ fn render(id: &str, json: bool) -> Rendered {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if let Err(message) = apply_jobs_flag(&mut args) {
+        eprintln!("{message}");
+        std::process::exit(1);
+    }
+    if let Err(message) = apply_services_flag(&mut args) {
         eprintln!("{message}");
         std::process::exit(1);
     }

@@ -1,15 +1,20 @@
-//! Regenerates the paper's tables: `tables [tableN ...|all] [--jobs N]`.
+//! Regenerates the paper's tables: `tables [tableN ...|all] [--jobs N]
+//! [--services <dir|file>]`.
 //!
 //! `table6` runs the simulator's deterministic A/B validation, so prefer
 //! a release build: `cargo run --release -p accelerometer-bench --bin
 //! tables -- table6`.
 
-use accelerometer_bench::{apply_jobs_flag, render_table, TABLE_IDS};
+use accelerometer_bench::{apply_jobs_flag, apply_services_flag, render_table, TABLE_IDS};
 use accelerometer_sim::parallel::ExecPool;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if let Err(message) = apply_jobs_flag(&mut args) {
+        eprintln!("{message}");
+        std::process::exit(1);
+    }
+    if let Err(message) = apply_services_flag(&mut args) {
         eprintln!("{message}");
         std::process::exit(1);
     }

@@ -24,5 +24,6 @@ pub mod render;
 pub mod tables;
 
 pub use figures::{figure, figure_json, FIGURE_IDS};
+pub use accelerometer_fleet::apply_services_flag;
 pub use jobs::apply_jobs_flag;
 pub use tables::{render_table, TABLE_IDS};

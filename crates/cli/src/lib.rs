@@ -27,7 +27,16 @@
 //! * `accelctl bounds <config.json>` — decompose each scenario's cycle
 //!   budget and name the dominant performance bound;
 //! * `accelctl slo <config.json> [--min-reduction R]` — latency-SLO
-//!   guardrails: tolerable L, n, and required A per scenario.
+//!   guardrails: tolerable L, n, and required A per scenario;
+//! * `accelctl tables <id|all>` — regenerate the paper's tables;
+//! * `accelctl services list|validate <path>|export <dir>` — inspect,
+//!   check, or regenerate the data-driven service profiles under
+//!   `configs/services/`.
+//!
+//! The global `--services <dir|file>` flag loads service profiles from
+//! JSON and routes every command through them instead of the built-in
+//! constructors — byte-identically for the shipped files, which the
+//! golden equivalence suite pins.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -42,7 +51,9 @@ use accelerometer::{
     Scenario, ThreadingDesign, Timeline, TimelineSpec,
 };
 use accelerometer_fleet::params::all_recommendations;
-use accelerometer_fleet::{all_case_studies, profile, ServiceId};
+use accelerometer_fleet::{
+    active_registry, all_case_studies, profile, ServiceId, ServiceRegistry,
+};
 use accelerometer_kernels::dispatch;
 use accelerometer_profiler::{analyze, to_folded, TraceGenerator};
 use accelerometer_sim::faultsweep::demo_scenario;
@@ -52,7 +63,7 @@ use accelerometer_sim::{
 };
 
 /// Top-level usage text.
-pub const USAGE: &str = "usage: accelctl [--jobs N] [--shards N] [--trace-reuse on|off] [--isa scalar|auto] <command> [args]
+pub const USAGE: &str = "usage: accelctl [--jobs N] [--shards N] [--trace-reuse on|off] [--isa scalar|auto] [--services <dir|file>] <command> [args]
 global flags:
   --jobs N                        worker threads for independent runs
                                   (default: available parallelism; results
@@ -73,6 +84,12 @@ global flags:
                                   Kernel outputs are bit-identical either
                                   way; only wall-clock changes, which is
                                   what `calibrate` measures
+  --services <dir|file>           load service profiles from JSON spec
+                                  files (see configs/services/) instead of
+                                  the built-in constructors; services
+                                  without a file keep their builtin. The
+                                  shipped files reproduce the builtin
+                                  output byte-for-byte
 commands:
   estimate <config.json>          evaluate scenarios from a parameter file
   breakeven --cb <c/B> --a <A> [--o0 N] [--l N] [--q N] [--o1 N]
@@ -93,7 +110,15 @@ commands:
   timeline <sync|sync-os|async-same-thread|async-distinct-thread|
             async-no-response>
   bounds <config.json>            dominant performance bound per scenario
-  slo <config.json> [--min-reduction R]   latency-SLO guardrails";
+  slo <config.json> [--min-reduction R]   latency-SLO guardrails
+  tables <id|all>                 regenerate the paper's tables
+                                  (table1 .. table7)
+  services list                   service ids, slugs, and profile sources
+  services validate <dir|file>    parse + validate profile JSON; exits
+                                  non-zero on the first malformed spec
+  services export <dir>           write every builtin profile as
+                                  <dir>/<slug>.json (the generator for
+                                  configs/services/)";
 
 /// Runs the CLI on pre-split arguments (excluding the program name),
 /// returning the text to print.
@@ -106,7 +131,8 @@ pub fn run(args: &[String]) -> Result<String, String> {
     let args = apply_jobs_flag(args)?;
     let args = apply_shards_flag(&args)?;
     let args = apply_trace_reuse_flag(&args)?;
-    let args = apply_isa_flag(&args)?;
+    let mut args = apply_isa_flag(&args)?;
+    accelerometer_fleet::apply_services_flag(&mut args)?;
     let args = args.as_slice();
     let mut it = args.iter().map(String::as_str);
     match it.next() {
@@ -121,6 +147,8 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Some("timeline") => cmd_timeline(&args[1..]),
         Some("bounds") => cmd_bounds(&args[1..]),
         Some("slo") => cmd_slo(&args[1..]),
+        Some("tables") => cmd_tables(&args[1..]),
+        Some("services") => cmd_services(&args[1..]),
         Some("help") | None => Ok(USAGE.to_owned()),
         Some(other) => Err(format!("unknown command '{other}'\n{USAGE}")),
     }
@@ -557,6 +585,91 @@ fn cmd_slo(args: &[String]) -> Result<String, String> {
         }
     }
     Ok(out)
+}
+
+/// `accelctl tables <id|all>`: regenerate the paper's tables through
+/// whatever profile data is active — built-in constructors by default,
+/// or JSON specs when `--services` is given. The tier-1 gate diffs the
+/// two paths byte-for-byte.
+fn cmd_tables(args: &[String]) -> Result<String, String> {
+    let id = args
+        .first()
+        .ok_or("tables requires a table id (table1 .. table7) or 'all'")?;
+    if id == "all" {
+        let mut out = String::new();
+        for id in accelerometer_bench::TABLE_IDS {
+            out.push_str(&accelerometer_bench::render_table(id).expect("known table id"));
+            out.push('\n');
+        }
+        return Ok(out);
+    }
+    accelerometer_bench::render_table(id)
+        .ok_or_else(|| format!("unknown table '{id}' (expected table1 .. table7 or all)"))
+}
+
+/// `accelctl services list|validate <dir|file>|export <dir>`: the
+/// data-driven profile toolkit. `validate` is the CI gate over
+/// `configs/services/`; `export` regenerates those files from the
+/// built-in constructors.
+fn cmd_services(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            let active = active_registry();
+            let registry = active
+                .as_deref()
+                .map_or_else(ServiceRegistry::builtin, Clone::clone);
+            let mut out = format!(
+                "{:<14} {:<14} {:<13} source\n",
+                "service", "slug", "domain"
+            );
+            for id in ServiceId::ALL {
+                let source = if registry.loaded_services().contains(&id) {
+                    "loaded file"
+                } else {
+                    "builtin"
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<14} {:<14} {:<13} {source}",
+                    id.to_string(),
+                    id.slug(),
+                    format!("{:?}", id.domain()),
+                );
+            }
+            Ok(out)
+        }
+        Some("validate") => {
+            let path = args
+                .get(1)
+                .ok_or("services validate requires a path (profile dir or file)")?;
+            let registry = ServiceRegistry::load_path(std::path::Path::new(path))
+                .map_err(|e| e.to_string())?;
+            let loaded: Vec<&str> = registry
+                .loaded_services()
+                .iter()
+                .map(|id| id.slug())
+                .collect();
+            Ok(format!(
+                "ok: {} valid service spec(s): {}\n",
+                loaded.len(),
+                loaded.join(", ")
+            ))
+        }
+        Some("export") => {
+            let dir = args
+                .get(1)
+                .ok_or("services export requires a target directory")?;
+            let written = ServiceRegistry::export_dir(std::path::Path::new(dir))
+                .map_err(|e| e.to_string())?;
+            let mut out = String::new();
+            for path in &written {
+                let _ = writeln!(out, "wrote {}", path.display());
+            }
+            Ok(out)
+        }
+        _ => Err("services requires a subcommand: list | validate <dir|file> | export <dir>"
+            .to_owned()),
+    }
 }
 
 #[cfg(test)]

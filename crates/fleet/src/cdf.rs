@@ -79,8 +79,18 @@ pub fn cache1_compression() -> GranularityCdf {
 /// Fig. 21: CDF of memory-copy sizes for one service. Most services copy
 /// small granularities (< 512 B, smaller than a 4 KiB page); a few
 /// percent of copies are zero-length (the `0` bucket in the figure).
+///
+/// Routed through the active [`crate::registry::ServiceRegistry`] when
+/// one is installed (`--services`); bit-exact for unmodified data files.
 #[must_use]
 pub fn memory_copy(service: ServiceId) -> GranularityCdf {
+    if let Some(reg) = crate::registry::active_registry() {
+        return reg.spec(service).copy_granularity.clone();
+    }
+    memory_copy_data(service)
+}
+
+pub(crate) fn memory_copy_data(service: ServiceId) -> GranularityCdf {
     match service {
         ServiceId::Web => cdf(&[
             (0.0, 0.04),
@@ -161,13 +171,61 @@ pub fn memory_copy(service: ServiceId) -> GranularityCdf {
             (4_096.0, 0.995),
             (8_192.0, 1.0),
         ]),
+        // AI-inference pack: tensor/feature copies skew larger than the
+        // paper services but stay mostly sub-page.
+        ServiceId::AiInference => cdf(&[
+            (0.0, 0.02),
+            (64.0, 0.18),
+            (128.0, 0.34),
+            (256.0, 0.50),
+            (512.0, 0.62),
+            (1_024.0, 0.74),
+            (4_096.0, 0.86),
+            (16_384.0, 0.94),
+            (65_536.0, 1.0),
+        ]),
+        // Kvstore pack: value copies; small objects dominate as in the
+        // caches, with a heavier multi-KiB tail for large values.
+        ServiceId::Kvstore => cdf(&[
+            (16.0, 0.10),
+            (64.0, 0.30),
+            (128.0, 0.48),
+            (256.0, 0.62),
+            (512.0, 0.74),
+            (2_048.0, 0.88),
+            (8_192.0, 0.96),
+            (32_768.0, 1.0),
+        ]),
+        // PQC pack: copies cluster at post-quantum artifact sizes (Kyber
+        // public keys ~1184 B, ciphertexts ~1088 B, Dilithium signatures
+        // ~2420 B) on top of small framing copies.
+        ServiceId::Pqc => cdf(&[
+            (32.0, 0.20),
+            (64.0, 0.36),
+            (128.0, 0.50),
+            (256.0, 0.60),
+            (512.0, 0.70),
+            (1_184.0, 0.82),
+            (2_420.0, 0.92),
+            (4_864.0, 1.0),
+        ]),
     }
 }
 
 /// Fig. 22: CDF of memory-allocation sizes for one service; most
 /// allocations are small (typically < 512 B).
+///
+/// Routed through the active [`crate::registry::ServiceRegistry`] when
+/// one is installed (`--services`); bit-exact for unmodified data files.
 #[must_use]
 pub fn memory_allocation(service: ServiceId) -> GranularityCdf {
+    if let Some(reg) = crate::registry::active_registry() {
+        return reg.spec(service).allocation_granularity.clone();
+    }
+    memory_allocation_data(service)
+}
+
+pub(crate) fn memory_allocation_data(service: ServiceId) -> GranularityCdf {
     match service {
         ServiceId::Web => cdf(&[
             (0.0, 0.01),
@@ -246,6 +304,38 @@ pub fn memory_allocation(service: ServiceId) -> GranularityCdf {
             (2_048.0, 0.98),
             (4_096.0, 0.995),
             (8_192.0, 1.0),
+        ]),
+        // AI-inference pack: arena-style tensor buffers amortize large
+        // allocations, so the malloc path sees mostly small metadata.
+        ServiceId::AiInference => cdf(&[
+            (16.0, 0.28),
+            (64.0, 0.55),
+            (128.0, 0.70),
+            (256.0, 0.80),
+            (512.0, 0.88),
+            (4_096.0, 0.96),
+            (16_384.0, 1.0),
+        ]),
+        // Kvstore pack: slab-class allocations, small-object dominated.
+        ServiceId::Kvstore => cdf(&[
+            (16.0, 0.30),
+            (64.0, 0.58),
+            (128.0, 0.72),
+            (256.0, 0.82),
+            (512.0, 0.90),
+            (2_048.0, 0.96),
+            (16_384.0, 1.0),
+        ]),
+        // PQC pack: key/ciphertext buffers plus small session state.
+        ServiceId::Pqc => cdf(&[
+            (32.0, 0.35),
+            (64.0, 0.55),
+            (128.0, 0.68),
+            (256.0, 0.78),
+            (512.0, 0.85),
+            (1_184.0, 0.93),
+            (2_420.0, 0.98),
+            (4_864.0, 1.0),
         ]),
     }
 }

@@ -35,6 +35,7 @@ pub mod ipc;
 pub mod params;
 pub mod platform;
 pub mod reference;
+pub mod registry;
 pub mod services;
 
 pub use breakdown::{Breakdown, BreakdownError};
@@ -46,6 +47,10 @@ pub use params::{
     all_case_studies, all_recommendations, CaseStudy, Recommendation, RecommendationConfig,
 };
 pub use platform::{CpuGeneration, CpuPlatform, ALL_PLATFORMS, GEN_A, GEN_B, GEN_C_18, GEN_C_20};
+pub use registry::{
+    active_registry, apply_services_flag, builtin_spec, set_active_registry, FleetError,
+    ServiceRegistry, ServiceSpec, SCHEMA_VERSION,
+};
 pub use services::{
     characterized_profiles, profile, ServiceDomain, ServiceId, ServiceProfile, ServiceRates,
 };

@@ -16,7 +16,7 @@ use crate::services::ServiceId;
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CaseStudy {
     /// Short identifier (Table 6 row name).
-    pub name: &'static str,
+    pub name: String,
     /// The microservice under study.
     pub service: ServiceId,
     /// The fully-parameterized scenario (Table 6 row).
@@ -72,7 +72,7 @@ fn scenario(
 #[must_use]
 pub fn aes_ni_cache1() -> CaseStudy {
     CaseStudy {
-        name: "aes-ni",
+        name: "aes-ni".to_owned(),
         service: ServiceId::Cache1,
         scenario: scenario(
             2.0e9,
@@ -100,7 +100,7 @@ pub fn aes_ni_cache1() -> CaseStudy {
 #[must_use]
 pub fn encryption_cache3() -> CaseStudy {
     CaseStudy {
-        name: "encryption",
+        name: "encryption".to_owned(),
         service: ServiceId::Cache3,
         scenario: scenario(
             2.3e9,
@@ -129,7 +129,7 @@ pub fn encryption_cache3() -> CaseStudy {
 #[must_use]
 pub fn inference_ads1() -> CaseStudy {
     CaseStudy {
-        name: "inference",
+        name: "inference".to_owned(),
         service: ServiceId::Ads1,
         scenario: scenario(
             2.5e9,
@@ -150,9 +150,24 @@ pub fn inference_ads1() -> CaseStudy {
     }
 }
 
-/// All three Table 6 case studies in paper order.
+/// All Table 6 case studies in paper row order.
+///
+/// When a [`crate::registry::ServiceRegistry`] is installed as the
+/// process-wide active registry (`--services`), the studies come from
+/// its loaded service specs (sorted by their explicit `order` field);
+/// otherwise from the built-in constructors. The two paths are
+/// bit-exact for unmodified data files.
 #[must_use]
 pub fn all_case_studies() -> Vec<CaseStudy> {
+    if let Some(reg) = crate::registry::active_registry() {
+        return reg.case_studies();
+    }
+    builtin_case_studies()
+}
+
+/// The built-in Table 6 case studies, bypassing any active registry.
+#[must_use]
+pub fn builtin_case_studies() -> Vec<CaseStudy> {
     vec![aes_ni_cache1(), encryption_cache3(), inference_ads1()]
 }
 
@@ -161,7 +176,7 @@ pub fn all_case_studies() -> Vec<CaseStudy> {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RecommendationConfig {
     /// Display label ("On-chip", "Off-chip:Sync", …).
-    pub label: &'static str,
+    pub label: String,
     /// The accelerator under consideration.
     pub accelerator: AcceleratorSpec,
     /// The threading design.
@@ -179,7 +194,7 @@ pub struct RecommendationConfig {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Recommendation {
     /// Display name ("Feed1: Compression", …).
-    pub name: &'static str,
+    pub name: String,
     /// The service whose overhead is being accelerated.
     pub service: ServiceId,
     /// The profiled kernel (Table 7 `C`, `α`, total offloads, `Cb`, CDF).
@@ -202,7 +217,7 @@ pub fn compression_feed1() -> Recommendation {
         overheads: OffloadOverheads::new(0.0, 2_300.0, 0.0, o1),
     };
     Recommendation {
-        name: "Feed1: Compression",
+        name: "Feed1: Compression".to_owned(),
         service: ServiceId::Feed1,
         profile: KernelProfile {
             total_cycles: cycles(2.3e9),
@@ -214,7 +229,7 @@ pub fn compression_feed1() -> Recommendation {
         paper_ideal_percent: 17.6,
         configs: vec![
             RecommendationConfig {
-                label: "On-chip",
+                label: "On-chip".to_owned(),
                 accelerator: AcceleratorSpec {
                     strategy: AccelerationStrategy::OnChip,
                     peak_speedup: 5.0,
@@ -226,7 +241,7 @@ pub fn compression_feed1() -> Recommendation {
                 paper_latency_percent: Some(13.6),
             },
             RecommendationConfig {
-                label: "Off-chip:Sync",
+                label: "Off-chip:Sync".to_owned(),
                 accelerator: off_chip(0.0),
                 design: ThreadingDesign::Sync,
                 policy: OffloadPolicy::SelectiveLucrative,
@@ -234,7 +249,7 @@ pub fn compression_feed1() -> Recommendation {
                 paper_latency_percent: Some(9.0),
             },
             RecommendationConfig {
-                label: "Off-chip:Sync-OS",
+                label: "Off-chip:Sync-OS".to_owned(),
                 accelerator: off_chip(5_750.0),
                 design: ThreadingDesign::SyncOs,
                 policy: OffloadPolicy::SelectiveLucrative,
@@ -242,7 +257,7 @@ pub fn compression_feed1() -> Recommendation {
                 paper_latency_percent: Some(1.4),
             },
             RecommendationConfig {
-                label: "Off-chip:Async",
+                label: "Off-chip:Async".to_owned(),
                 accelerator: off_chip(0.0),
                 design: ThreadingDesign::AsyncNoResponse,
                 policy: OffloadPolicy::SelectiveLucrative,
@@ -258,18 +273,18 @@ pub fn compression_feed1() -> Recommendation {
 #[must_use]
 pub fn memory_copy_ads1() -> Recommendation {
     Recommendation {
-        name: "Ads1: Memory copy",
+        name: "Ads1: Memory copy".to_owned(),
         service: ServiceId::Ads1,
         profile: KernelProfile {
             total_cycles: cycles(2.3e9),
             kernel_fraction: 0.1512,
             total_offloads: 1_473_681.0,
             cost: KernelCost::linear(cycles_per_byte(0.58)),
-            granularity: cdf::memory_copy(ServiceId::Ads1),
+            granularity: cdf::memory_copy_data(ServiceId::Ads1),
         },
         paper_ideal_percent: 17.8,
         configs: vec![RecommendationConfig {
-            label: "On-chip",
+            label: "On-chip".to_owned(),
             accelerator: AcceleratorSpec {
                 strategy: AccelerationStrategy::OnChip,
                 peak_speedup: 4.0,
@@ -288,18 +303,18 @@ pub fn memory_copy_ads1() -> Recommendation {
 #[must_use]
 pub fn memory_allocation_cache1() -> Recommendation {
     Recommendation {
-        name: "Cache1: Memory allocation",
+        name: "Cache1: Memory allocation".to_owned(),
         service: ServiceId::Cache1,
         profile: KernelProfile {
             total_cycles: cycles(2.0e9),
             kernel_fraction: 0.055,
             total_offloads: 51_695.0,
             cost: KernelCost::linear(cycles_per_byte(8.25)),
-            granularity: cdf::memory_allocation(ServiceId::Cache1),
+            granularity: cdf::memory_allocation_data(ServiceId::Cache1),
         },
         paper_ideal_percent: 5.8,
         configs: vec![RecommendationConfig {
-            label: "On-chip",
+            label: "On-chip".to_owned(),
             accelerator: AcceleratorSpec {
                 strategy: AccelerationStrategy::OnChip,
                 peak_speedup: 1.5,
@@ -313,9 +328,21 @@ pub fn memory_allocation_cache1() -> Recommendation {
     }
 }
 
-/// All three §5 recommendations in Fig. 20 order.
+/// All §5 recommendations in Fig. 20 order.
+///
+/// Routed through the active [`crate::registry::ServiceRegistry`] when
+/// one is installed (`--services`); bit-exact for unmodified data files.
 #[must_use]
 pub fn all_recommendations() -> Vec<Recommendation> {
+    if let Some(reg) = crate::registry::active_registry() {
+        return reg.recommendations();
+    }
+    builtin_recommendations()
+}
+
+/// The built-in Fig. 20 recommendations, bypassing any active registry.
+#[must_use]
+pub fn builtin_recommendations() -> Vec<Recommendation> {
     vec![
         compression_feed1(),
         memory_copy_ads1(),

@@ -1,0 +1,820 @@
+//! Data-driven service profiles: the serde schema, the JSON loader, and
+//! the process-wide active registry.
+//!
+//! A [`ServiceSpec`] packages everything the runners know about one
+//! service — the characterization profile (breakdowns, rates, platform),
+//! the Fig. 21/22 granularity CDFs, the Fig. 8/10 IPC tables, and any
+//! Table 6 case studies or Fig. 20 recommendations the service anchors —
+//! as pure data. The Rust constructors under `services/`, `cdf`, `ipc`,
+//! and `params` are the *exporters*: [`builtin_spec`] assembles their
+//! output, and the committed files under `configs/services/` are
+//! generated from it (`accelctl services export`).
+//!
+//! [`ServiceRegistry::load_path`] parses and *re-validates* JSON specs
+//! (serde derives bypass the constructors' invariants, so every
+//! breakdown, CDF, IPC value, and rate is checked again on load),
+//! returning a structured [`FleetError`] instead of panicking on
+//! malformed data. Installing a registry via [`set_active_registry`]
+//! (the CLI's `--services` flag) reroutes [`crate::services::profile`],
+//! [`crate::params::all_case_studies`],
+//! [`crate::params::all_recommendations`], and the granularity/IPC
+//! lookups through the loaded data — byte-identically to the built-in
+//! path for unmodified files, which the golden equivalence suite pins.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, PoisonError, RwLock};
+
+use accelerometer::{GranularityCdf, ModelError};
+use serde::{Deserialize, Serialize};
+
+use crate::breakdown::Breakdown;
+use crate::categories::{FunctionalityCategory, LeafCategory};
+use crate::cdf;
+use crate::ipc::{self, IpcScaling};
+use crate::params::{self, CaseStudy, Recommendation};
+use crate::services::{self, ServiceId, ServiceProfile};
+
+/// The JSON schema version this build reads and writes.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Structured errors for loading and validating service-profile data.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FleetError {
+    /// A file or directory could not be read or written.
+    Io {
+        /// The offending path.
+        path: String,
+        /// The underlying I/O error message.
+        message: String,
+    },
+    /// A file was not valid JSON for the [`ServiceSpec`] schema.
+    Parse {
+        /// The offending path.
+        path: String,
+        /// The parser's error message.
+        message: String,
+    },
+    /// The spec declares a schema version this build does not read.
+    UnsupportedSchema {
+        /// The version found in the file.
+        found: u32,
+    },
+    /// A file's stem does not match the `id` of the profile it holds.
+    FilenameMismatch {
+        /// The offending path.
+        path: String,
+        /// The slug the file name must use.
+        expected: String,
+    },
+    /// The same service was loaded twice.
+    DuplicateService {
+        /// The service loaded more than once.
+        service: ServiceId,
+    },
+    /// A directory passed to the loader holds no `.json` files.
+    EmptyDir {
+        /// The offending path.
+        path: String,
+    },
+    /// A breakdown does not sum to ~100% (or claims an incomplete sum).
+    BreakdownTotal {
+        /// The service whose spec is malformed.
+        service: ServiceId,
+        /// Which breakdown field failed.
+        field: &'static str,
+        /// The sum that was found.
+        total: f64,
+    },
+    /// A breakdown entry is invalid (non-finite/non-positive percent or
+    /// a duplicated category).
+    BreakdownEntry {
+        /// The service whose spec is malformed.
+        service: ServiceId,
+        /// Which breakdown field failed.
+        field: &'static str,
+        /// The constructor's rejection reason.
+        reason: String,
+    },
+    /// A granularity CDF has no points.
+    EmptyCdf {
+        /// The service whose spec is malformed.
+        service: ServiceId,
+        /// Which CDF field failed.
+        field: &'static str,
+    },
+    /// A granularity CDF is non-monotone (byte bounds not strictly
+    /// increasing, fractions decreasing or outside `[0, 1]`, or a final
+    /// fraction that is not 1).
+    NonMonotoneCdf {
+        /// The service whose spec is malformed.
+        service: ServiceId,
+        /// Which CDF field failed.
+        field: &'static str,
+        /// The first offending knot index.
+        index: usize,
+    },
+    /// An IPC value is not strictly positive and finite.
+    NegativeIpc {
+        /// The service whose spec is malformed.
+        service: ServiceId,
+        /// The category carrying the bad value.
+        category: String,
+        /// The value found.
+        value: f64,
+    },
+    /// A rate is negative, non-finite, or a zero host-cycle budget.
+    NegativeRate {
+        /// The service whose spec is malformed.
+        service: ServiceId,
+        /// Which rate field failed.
+        field: &'static str,
+        /// The value found.
+        value: f64,
+    },
+    /// A model parameter embedded in a case study or recommendation is
+    /// out of its valid range.
+    InvalidModelParam {
+        /// The service whose spec is malformed.
+        service: ServiceId,
+        /// Which parameter failed.
+        field: &'static str,
+        /// The value found.
+        value: f64,
+    },
+    /// An embedded case study or recommendation names a different
+    /// service than the spec it rides in.
+    ForeignEntry {
+        /// The service whose spec is malformed.
+        service: ServiceId,
+        /// The entry kind ("case study" or "recommendation").
+        field: &'static str,
+        /// The service the entry claims.
+        found: ServiceId,
+    },
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Io { path, message } => write!(f, "cannot access {path}: {message}"),
+            FleetError::Parse { path, message } => {
+                write!(f, "invalid service spec {path}: {message}")
+            }
+            FleetError::UnsupportedSchema { found } => write!(
+                f,
+                "unsupported service-spec schema version {found} (this build reads {SCHEMA_VERSION})"
+            ),
+            FleetError::FilenameMismatch { path, expected } => write!(
+                f,
+                "service spec {path} must be named {expected}.json to match its profile id"
+            ),
+            FleetError::DuplicateService { service } => {
+                write!(f, "service {service} loaded more than once")
+            }
+            FleetError::EmptyDir { path } => {
+                write!(f, "service directory {path} holds no .json files")
+            }
+            FleetError::BreakdownTotal { service, field, total } => write!(
+                f,
+                "{service}: {field} breakdown must sum to ~100%, got {total}"
+            ),
+            FleetError::BreakdownEntry { service, field, reason } => {
+                write!(f, "{service}: {field} breakdown is invalid: {reason}")
+            }
+            FleetError::EmptyCdf { service, field } => {
+                write!(f, "{service}: {field} granularity CDF has no points")
+            }
+            FleetError::NonMonotoneCdf { service, field, index } => write!(
+                f,
+                "{service}: {field} granularity CDF is non-monotone at knot {index}"
+            ),
+            FleetError::NegativeIpc { service, category, value } => write!(
+                f,
+                "{service}: IPC for {category} must be positive and finite, got {value}"
+            ),
+            FleetError::NegativeRate { service, field, value } => write!(
+                f,
+                "{service}: rate {field} must be non-negative and finite, got {value}"
+            ),
+            FleetError::InvalidModelParam { service, field, value } => write!(
+                f,
+                "{service}: model parameter {field} is out of range, got {value}"
+            ),
+            FleetError::ForeignEntry { service, field, found } => write!(
+                f,
+                "{service}: embedded {field} belongs to {found}, not to this spec"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// Per-service IPC-scaling tables (Figs. 8 and 10 for Cache1; empty for
+/// services the paper does not cover).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct IpcTable {
+    /// Leaf-category IPC across the three CPU generations.
+    #[serde(default)]
+    pub leaves: Vec<(LeafCategory, IpcScaling)>,
+    /// Functionality-category IPC across the three CPU generations.
+    #[serde(default)]
+    pub functionality: Vec<(FunctionalityCategory, IpcScaling)>,
+}
+
+/// One Table 6 case study riding in a service spec, with its global row
+/// order (Table 6 row order spans services, so the position cannot be
+/// derived from the service iteration order).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CaseStudyEntry {
+    /// Global Table 6 row index.
+    pub order: u32,
+    /// The case study itself.
+    pub study: CaseStudy,
+}
+
+/// One Fig. 20 recommendation riding in a service spec, with its global
+/// presentation order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecommendationEntry {
+    /// Global Fig. 20 presentation index.
+    pub order: u32,
+    /// The recommendation itself.
+    pub recommendation: Recommendation,
+}
+
+/// Everything the runners know about one service, as pure data: the
+/// schema of one `configs/services/<slug>.json` file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceSpec {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema: u32,
+    /// The characterization profile (breakdowns, rates, platform).
+    pub profile: ServiceProfile,
+    /// Fig. 21: the memory-copy granularity CDF.
+    pub copy_granularity: GranularityCdf,
+    /// Fig. 22: the memory-allocation granularity CDF.
+    pub allocation_granularity: GranularityCdf,
+    /// Figs. 8/10: IPC-scaling tables, where the data exists.
+    #[serde(default)]
+    pub ipc: Option<IpcTable>,
+    /// Table 6 case studies anchored on this service.
+    #[serde(default)]
+    pub case_studies: Vec<CaseStudyEntry>,
+    /// Fig. 20 recommendations anchored on this service.
+    #[serde(default)]
+    pub recommendations: Vec<RecommendationEntry>,
+}
+
+fn check_breakdown<C: Copy + PartialEq>(
+    service: ServiceId,
+    field: &'static str,
+    b: &Breakdown<C>,
+) -> Result<(), FleetError> {
+    if !b.is_complete() {
+        return Err(FleetError::BreakdownTotal {
+            service,
+            field,
+            total: b.total_percent(),
+        });
+    }
+    // Re-run the constructor invariants the serde derive bypassed.
+    Breakdown::complete(b.iter().collect()).map_err(|e| match e {
+        crate::breakdown::BreakdownError::BadTotal { total } => {
+            FleetError::BreakdownTotal { service, field, total }
+        }
+        other => FleetError::BreakdownEntry {
+            service,
+            field,
+            reason: other.to_string(),
+        },
+    })?;
+    Ok(())
+}
+
+fn check_cdf(
+    service: ServiceId,
+    field: &'static str,
+    cdf: &GranularityCdf,
+) -> Result<(), FleetError> {
+    GranularityCdf::from_points(cdf.points().to_vec()).map_err(|e| match e {
+        ModelError::EmptyDistribution => FleetError::EmptyCdf { service, field },
+        ModelError::NonMonotonicCdf { index } => {
+            FleetError::NonMonotoneCdf { service, field, index }
+        }
+        other => FleetError::Parse {
+            path: format!("{service}/{field}"),
+            message: other.to_string(),
+        },
+    })?;
+    Ok(())
+}
+
+fn check_ipc_scaling(
+    service: ServiceId,
+    category: &dyn fmt::Display,
+    scaling: IpcScaling,
+) -> Result<(), FleetError> {
+    for value in [scaling.gen_a, scaling.gen_b, scaling.gen_c] {
+        if !(value.is_finite() && value > 0.0) {
+            return Err(FleetError::NegativeIpc {
+                service,
+                category: category.to_string(),
+                value,
+            });
+        }
+    }
+    Ok(())
+}
+
+fn check_rate(
+    service: ServiceId,
+    field: &'static str,
+    value: f64,
+) -> Result<(), FleetError> {
+    if !(value.is_finite() && value >= 0.0) {
+        return Err(FleetError::NegativeRate { service, field, value });
+    }
+    Ok(())
+}
+
+fn check_param(
+    service: ServiceId,
+    field: &'static str,
+    value: f64,
+    ok: bool,
+) -> Result<(), FleetError> {
+    if value.is_finite() && ok {
+        Ok(())
+    } else {
+        Err(FleetError::InvalidModelParam { service, field, value })
+    }
+}
+
+impl ServiceSpec {
+    /// Re-validates everything the serde derives let through unchecked.
+    ///
+    /// # Errors
+    ///
+    /// One [`FleetError`] variant per rejection reason: breakdowns that
+    /// do not sum to ~100% or carry invalid entries, empty or
+    /// non-monotone granularity CDFs, non-positive IPC values, negative
+    /// rates, out-of-range embedded model parameters, entries that name
+    /// a different service, and unsupported schema versions.
+    pub fn validate(&self) -> Result<(), FleetError> {
+        if self.schema != SCHEMA_VERSION {
+            return Err(FleetError::UnsupportedSchema { found: self.schema });
+        }
+        let id = self.profile.id;
+        let p = &self.profile;
+        check_breakdown(id, "functionality", &p.functionality)?;
+        check_breakdown(id, "leaves", &p.leaves)?;
+        check_breakdown(id, "memory_ops", &p.memory_ops)?;
+        check_breakdown(id, "copy_origins", &p.copy_origins)?;
+        check_breakdown(id, "kernel_ops", &p.kernel_ops)?;
+        check_breakdown(id, "sync_ops", &p.sync_ops)?;
+        check_breakdown(id, "clib_ops", &p.clib_ops)?;
+        check_rate(id, "compressions_per_second", p.rates.compressions_per_second)?;
+        check_rate(id, "copies_per_second", p.rates.copies_per_second)?;
+        check_rate(id, "allocations_per_second", p.rates.allocations_per_second)?;
+        check_rate(id, "encryptions_per_second", p.rates.encryptions_per_second)?;
+        let cycles = p.rates.host_cycles_per_second;
+        if !(cycles.is_finite() && cycles > 0.0) {
+            return Err(FleetError::NegativeRate {
+                service: id,
+                field: "host_cycles_per_second",
+                value: cycles,
+            });
+        }
+        check_cdf(id, "copy_granularity", &self.copy_granularity)?;
+        check_cdf(id, "allocation_granularity", &self.allocation_granularity)?;
+        if let Some(table) = &self.ipc {
+            for (category, scaling) in &table.leaves {
+                check_ipc_scaling(id, category, *scaling)?;
+            }
+            for (category, scaling) in &table.functionality {
+                check_ipc_scaling(id, category, *scaling)?;
+            }
+        }
+        for entry in &self.case_studies {
+            let study = &entry.study;
+            if study.service != id {
+                return Err(FleetError::ForeignEntry {
+                    service: id,
+                    field: "case study",
+                    found: study.service,
+                });
+            }
+            if let Some(g) = &study.granularity {
+                check_cdf(id, "case_study.granularity", g)?;
+            }
+            let params = &study.scenario.params;
+            check_param(id, "case_study.host_cycles", params.host_cycles().get(),
+                params.host_cycles().get() > 0.0)?;
+            let alpha = params.kernel_fraction();
+            check_param(id, "case_study.kernel_fraction", alpha, alpha > 0.0 && alpha < 1.0)?;
+            check_param(id, "case_study.offloads", params.offloads(), params.offloads() >= 0.0)?;
+            check_param(id, "case_study.peak_speedup", params.peak_speedup(),
+                params.peak_speedup() > 0.0)?;
+            check_param(id, "case_study.cycles_per_byte", study.cycles_per_byte,
+                study.cycles_per_byte > 0.0)?;
+        }
+        for entry in &self.recommendations {
+            let rec = &entry.recommendation;
+            if rec.service != id {
+                return Err(FleetError::ForeignEntry {
+                    service: id,
+                    field: "recommendation",
+                    found: rec.service,
+                });
+            }
+            check_cdf(id, "recommendation.granularity", &rec.profile.granularity)?;
+            let alpha = rec.profile.kernel_fraction;
+            check_param(id, "recommendation.kernel_fraction", alpha, alpha > 0.0 && alpha < 1.0)?;
+            check_param(id, "recommendation.total_offloads", rec.profile.total_offloads,
+                rec.profile.total_offloads >= 0.0)?;
+            for cfg in &rec.configs {
+                check_param(id, "recommendation.peak_speedup", cfg.accelerator.peak_speedup,
+                    cfg.accelerator.peak_speedup > 0.0)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn builtin_ipc(id: ServiceId) -> Option<IpcTable> {
+    if id != ServiceId::Cache1 {
+        return None;
+    }
+    Some(IpcTable {
+        leaves: LeafCategory::ALL
+            .iter()
+            .filter_map(|&c| ipc::cache1_leaf_ipc(c).map(|s| (c, s)))
+            .collect(),
+        functionality: FunctionalityCategory::ALL
+            .iter()
+            .filter_map(|&c| ipc::cache1_functionality_ipc(c).map(|s| (c, s)))
+            .collect(),
+    })
+}
+
+/// Assembles the built-in [`ServiceSpec`] for a service from the Rust
+/// constructors — the exporter behind `accelctl services export` and
+/// the committed `configs/services/` files.
+#[must_use]
+pub fn builtin_spec(id: ServiceId) -> ServiceSpec {
+    ServiceSpec {
+        schema: SCHEMA_VERSION,
+        profile: services::profile_data(id),
+        copy_granularity: cdf::memory_copy_data(id),
+        allocation_granularity: cdf::memory_allocation_data(id),
+        ipc: builtin_ipc(id),
+        case_studies: params::builtin_case_studies()
+            .into_iter()
+            .enumerate()
+            .filter(|(_, s)| s.service == id)
+            .map(|(i, study)| CaseStudyEntry {
+                order: u32::try_from(i).expect("few case studies"),
+                study,
+            })
+            .collect(),
+        recommendations: params::builtin_recommendations()
+            .into_iter()
+            .enumerate()
+            .filter(|(_, r)| r.service == id)
+            .map(|(i, recommendation)| RecommendationEntry {
+                order: u32::try_from(i).expect("few recommendations"),
+                recommendation,
+            })
+            .collect(),
+    }
+}
+
+/// A full set of service specs, keyed by [`ServiceId`], loadable from
+/// JSON files and installable process-wide via [`set_active_registry`].
+#[derive(Debug, Clone)]
+pub struct ServiceRegistry {
+    /// Specs in [`ServiceId::ALL`] order.
+    specs: Vec<ServiceSpec>,
+    /// Services whose spec came from a loaded file (the rest fall back
+    /// to the built-in constructors).
+    loaded: Vec<ServiceId>,
+}
+
+fn index_of(id: ServiceId) -> usize {
+    ServiceId::ALL
+        .iter()
+        .position(|&s| s == id)
+        .expect("every ServiceId appears in ALL")
+}
+
+impl ServiceRegistry {
+    /// The registry holding every built-in spec (no files loaded).
+    #[must_use]
+    pub fn builtin() -> Self {
+        ServiceRegistry {
+            specs: ServiceId::ALL.iter().map(|&id| builtin_spec(id)).collect(),
+            loaded: Vec::new(),
+        }
+    }
+
+    /// The spec for a service.
+    #[must_use]
+    pub fn spec(&self, id: ServiceId) -> &ServiceSpec {
+        &self.specs[index_of(id)]
+    }
+
+    /// The characterization profile for a service.
+    #[must_use]
+    pub fn profile(&self, id: ServiceId) -> ServiceProfile {
+        self.spec(id).profile.clone()
+    }
+
+    /// Leaf-category IPC scaling for a service, where its spec has data.
+    #[must_use]
+    pub fn leaf_ipc(&self, id: ServiceId, category: LeafCategory) -> Option<IpcScaling> {
+        self.spec(id)
+            .ipc
+            .as_ref()?
+            .leaves
+            .iter()
+            .find(|(c, _)| *c == category)
+            .map(|(_, s)| *s)
+    }
+
+    /// Functionality-category IPC scaling for a service, where its spec
+    /// has data.
+    #[must_use]
+    pub fn functionality_ipc(
+        &self,
+        id: ServiceId,
+        category: FunctionalityCategory,
+    ) -> Option<IpcScaling> {
+        self.spec(id)
+            .ipc
+            .as_ref()?
+            .functionality
+            .iter()
+            .find(|(c, _)| *c == category)
+            .map(|(_, s)| *s)
+    }
+
+    /// Every case study across all specs, in global (Table 6 row) order.
+    #[must_use]
+    pub fn case_studies(&self) -> Vec<CaseStudy> {
+        let mut entries: Vec<&CaseStudyEntry> =
+            self.specs.iter().flat_map(|s| &s.case_studies).collect();
+        entries.sort_by_key(|e| e.order);
+        entries.into_iter().map(|e| e.study.clone()).collect()
+    }
+
+    /// Every recommendation across all specs, in global (Fig. 20) order.
+    #[must_use]
+    pub fn recommendations(&self) -> Vec<Recommendation> {
+        let mut entries: Vec<&RecommendationEntry> =
+            self.specs.iter().flat_map(|s| &s.recommendations).collect();
+        entries.sort_by_key(|e| e.order);
+        entries.into_iter().map(|e| e.recommendation.clone()).collect()
+    }
+
+    /// The services whose specs were loaded from files (the rest are the
+    /// built-in fallback).
+    #[must_use]
+    pub fn loaded_services(&self) -> &[ServiceId] {
+        &self.loaded
+    }
+
+    /// Validates and installs a spec, replacing that service's current
+    /// one.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServiceSpec::validate`] rejection, or
+    /// [`FleetError::DuplicateService`] when the service was already
+    /// loaded from a file.
+    pub fn install_spec(&mut self, spec: ServiceSpec) -> Result<ServiceId, FleetError> {
+        spec.validate()?;
+        let id = spec.profile.id;
+        if self.loaded.contains(&id) {
+            return Err(FleetError::DuplicateService { service: id });
+        }
+        self.specs[index_of(id)] = spec;
+        self.loaded.push(id);
+        Ok(id)
+    }
+
+    /// Loads one `<slug>.json` spec file into the registry.
+    ///
+    /// # Errors
+    ///
+    /// I/O and parse failures, a file stem that does not match the
+    /// profile's id, and any [`ServiceSpec::validate`] rejection.
+    pub fn load_file(&mut self, path: &Path) -> Result<ServiceId, FleetError> {
+        let display = path.display().to_string();
+        let text = fs::read_to_string(path).map_err(|e| FleetError::Io {
+            path: display.clone(),
+            message: e.to_string(),
+        })?;
+        let spec: ServiceSpec = serde_json::from_str(&text).map_err(|e| FleetError::Parse {
+            path: display.clone(),
+            message: e.to_string(),
+        })?;
+        if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+            if stem != spec.profile.id.slug() {
+                return Err(FleetError::FilenameMismatch {
+                    path: display,
+                    expected: spec.profile.id.slug().to_owned(),
+                });
+            }
+        }
+        self.install_spec(spec)
+    }
+
+    /// Builds a registry from a directory of `*.json` specs (loaded in
+    /// file-name order) or from a single spec file. Services without a
+    /// file keep their built-in spec.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ServiceRegistry::load_file`] rejects, plus
+    /// [`FleetError::EmptyDir`] for a directory holding no `.json`
+    /// files.
+    pub fn load_path(path: &Path) -> Result<Self, FleetError> {
+        let mut registry = Self::builtin();
+        if path.is_dir() {
+            let entries = fs::read_dir(path).map_err(|e| FleetError::Io {
+                path: path.display().to_string(),
+                message: e.to_string(),
+            })?;
+            let mut files: Vec<PathBuf> = entries
+                .filter_map(std::result::Result::ok)
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+                .collect();
+            files.sort();
+            if files.is_empty() {
+                return Err(FleetError::EmptyDir {
+                    path: path.display().to_string(),
+                });
+            }
+            for file in &files {
+                registry.load_file(file)?;
+            }
+        } else {
+            registry.load_file(path)?;
+        }
+        Ok(registry)
+    }
+
+    /// The built-in spec for a service rendered as the canonical JSON
+    /// file content (pretty-printed, no trailing newline).
+    #[must_use]
+    pub fn export_json(id: ServiceId) -> String {
+        serde_json::to_string_pretty(&builtin_spec(id)).expect("specs serialize")
+    }
+
+    /// Writes every built-in spec to `<dir>/<slug>.json`, returning the
+    /// paths written.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Io`] when the directory cannot be created or a
+    /// file cannot be written.
+    pub fn export_dir(dir: &Path) -> Result<Vec<PathBuf>, FleetError> {
+        fs::create_dir_all(dir).map_err(|e| FleetError::Io {
+            path: dir.display().to_string(),
+            message: e.to_string(),
+        })?;
+        let mut written = Vec::new();
+        for id in ServiceId::ALL {
+            let path = dir.join(format!("{}.json", id.slug()));
+            fs::write(&path, Self::export_json(id)).map_err(|e| FleetError::Io {
+                path: path.display().to_string(),
+                message: e.to_string(),
+            })?;
+            written.push(path);
+        }
+        Ok(written)
+    }
+}
+
+static ACTIVE: RwLock<Option<Arc<ServiceRegistry>>> = RwLock::new(None);
+
+/// Installs (or, with `None`, clears) the process-wide active registry
+/// that [`crate::services::profile`], [`crate::params::all_case_studies`],
+/// [`crate::params::all_recommendations`], [`crate::cdf::memory_copy`],
+/// [`crate::cdf::memory_allocation`], and the IPC lookups route through.
+/// Returns the previously active registry so tests can restore it.
+pub fn set_active_registry(
+    registry: Option<Arc<ServiceRegistry>>,
+) -> Option<Arc<ServiceRegistry>> {
+    let mut guard = ACTIVE.write().unwrap_or_else(PoisonError::into_inner);
+    std::mem::replace(&mut *guard, registry)
+}
+
+/// The process-wide active registry, if one has been installed.
+#[must_use]
+pub fn active_registry() -> Option<Arc<ServiceRegistry>> {
+    ACTIVE.read().unwrap_or_else(PoisonError::into_inner).clone()
+}
+
+/// Leaf-category IPC scaling for a service: the active registry's table
+/// when one is installed, otherwise the built-in Fig. 8 data (Cache1
+/// only). `None` means the caller should fall back to its default IPC.
+#[must_use]
+pub fn leaf_ipc_scaling(service: ServiceId, category: LeafCategory) -> Option<IpcScaling> {
+    if let Some(reg) = active_registry() {
+        return reg.leaf_ipc(service, category);
+    }
+    if service == ServiceId::Cache1 {
+        return ipc::cache1_leaf_ipc(category);
+    }
+    None
+}
+
+/// Functionality-category IPC scaling for a service: the active
+/// registry's table when one is installed, otherwise the built-in
+/// Fig. 10 data (Cache1 only).
+#[must_use]
+pub fn functionality_ipc_scaling(
+    service: ServiceId,
+    category: FunctionalityCategory,
+) -> Option<IpcScaling> {
+    if let Some(reg) = active_registry() {
+        return reg.functionality_ipc(service, category);
+    }
+    if service == ServiceId::Cache1 {
+        return ipc::cache1_functionality_ipc(category);
+    }
+    None
+}
+
+/// Strips a `--services <dir|file>` flag from `args`, loading the named
+/// profile data and installing it as the process-wide active registry.
+/// Shared by `accelctl` and the `bench` regeneration binaries.
+///
+/// # Errors
+///
+/// Returns a message when the flag has no value or the data fails to
+/// load or validate.
+pub fn apply_services_flag(args: &mut Vec<String>) -> Result<(), String> {
+    let Some(i) = args.iter().position(|a| a == "--services") else {
+        return Ok(());
+    };
+    let value = args
+        .get(i + 1)
+        .ok_or_else(|| "--services requires a path (profile dir or file)".to_owned())?
+        .clone();
+    let registry = ServiceRegistry::load_path(Path::new(&value))
+        .map_err(|e| format!("--services {value}: {e}"))?;
+    args.drain(i..=i + 1);
+    set_active_registry(Some(Arc::new(registry)));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_registry_matches_direct_constructors() {
+        let reg = ServiceRegistry::builtin();
+        for id in ServiceId::ALL {
+            assert_eq!(reg.profile(id), services::profile_data(id), "{id}");
+            reg.spec(id).validate().expect("builtin specs validate");
+        }
+        assert_eq!(reg.case_studies(), params::builtin_case_studies());
+        assert_eq!(reg.recommendations(), params::builtin_recommendations());
+        assert!(reg.loaded_services().is_empty());
+    }
+
+    #[test]
+    fn builtin_ipc_table_mirrors_fig8_and_fig10() {
+        let reg = ServiceRegistry::builtin();
+        for &category in LeafCategory::ALL {
+            assert_eq!(
+                reg.leaf_ipc(ServiceId::Cache1, category),
+                ipc::cache1_leaf_ipc(category),
+                "{category}"
+            );
+            assert_eq!(reg.leaf_ipc(ServiceId::Web, category), None);
+        }
+        for &category in FunctionalityCategory::ALL {
+            assert_eq!(
+                reg.functionality_ipc(ServiceId::Cache1, category),
+                ipc::cache1_functionality_ipc(category),
+                "{category}"
+            );
+        }
+    }
+
+    #[test]
+    fn case_study_order_is_table6_row_order() {
+        let studies = ServiceRegistry::builtin().case_studies();
+        let names: Vec<&str> = studies.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["aes-ni", "encryption", "inference"]);
+    }
+}

@@ -39,6 +39,15 @@ pub enum ServiceId {
     /// A third caching microservice, similar to Cache1/Cache2, used in
     /// the off-chip encryption case study (§4).
     Cache3,
+    /// AI-inference workload pack: MLP inference wrapped in the AI Tax's
+    /// pre/post-processing overheads (not a paper service).
+    AiInference,
+    /// Storage workload pack: a kvstore-heavy service modeled on
+    /// `kernels::kvstore` (not a paper service).
+    Kvstore,
+    /// Post-quantum-cryptography workload pack: lattice KEM/signature
+    /// traffic dominating the cycle budget (not a paper service).
+    Pqc,
 }
 
 impl ServiceId {
@@ -54,8 +63,8 @@ impl ServiceId {
         ServiceId::Cache2,
     ];
 
-    /// All services including Cache3.
-    pub const ALL: [ServiceId; 8] = [
+    /// All services: the paper's eight plus the three workload packs.
+    pub const ALL: [ServiceId; 11] = [
         ServiceId::Web,
         ServiceId::Feed1,
         ServiceId::Feed2,
@@ -64,9 +73,19 @@ impl ServiceId {
         ServiceId::Cache1,
         ServiceId::Cache2,
         ServiceId::Cache3,
+        ServiceId::AiInference,
+        ServiceId::Kvstore,
+        ServiceId::Pqc,
     ];
 
-    /// The service domain (§2.1 groups the seven services into four).
+    /// The three workload packs shipped as data files under
+    /// `configs/services/` (derived from the AI Tax / Data Center Tax
+    /// breakdowns, not measured in the paper).
+    pub const PACKS: [ServiceId; 3] =
+        [ServiceId::AiInference, ServiceId::Kvstore, ServiceId::Pqc];
+
+    /// The service domain (§2.1 groups the seven services into four;
+    /// the workload packs add three more).
     #[must_use]
     pub fn domain(self) -> ServiceDomain {
         match self {
@@ -74,17 +93,49 @@ impl ServiceId {
             ServiceId::Feed1 | ServiceId::Feed2 => ServiceDomain::NewsFeed,
             ServiceId::Ads1 | ServiceId::Ads2 => ServiceDomain::Ads,
             ServiceId::Cache1 | ServiceId::Cache2 | ServiceId::Cache3 => ServiceDomain::Cache,
+            ServiceId::AiInference => ServiceDomain::MlInference,
+            ServiceId::Kvstore => ServiceDomain::Storage,
+            ServiceId::Pqc => ServiceDomain::Crypto,
         }
     }
 
     /// Whether the service performs ML inference (§2.4 calls out Feed1,
-    /// Feed2, Ads1, and Ads2).
+    /// Feed2, Ads1, and Ads2; the AI-inference pack does by design).
     #[must_use]
     pub fn performs_inference(self) -> bool {
         matches!(
             self,
-            ServiceId::Feed1 | ServiceId::Feed2 | ServiceId::Ads1 | ServiceId::Ads2
+            ServiceId::Feed1
+                | ServiceId::Feed2
+                | ServiceId::Ads1
+                | ServiceId::Ads2
+                | ServiceId::AiInference
         )
+    }
+
+    /// The kebab-case identifier used in the JSON schema and as the
+    /// `configs/services/<slug>.json` file stem.
+    #[must_use]
+    pub fn slug(self) -> &'static str {
+        match self {
+            ServiceId::Web => "web",
+            ServiceId::Feed1 => "feed1",
+            ServiceId::Feed2 => "feed2",
+            ServiceId::Ads1 => "ads1",
+            ServiceId::Ads2 => "ads2",
+            ServiceId::Cache1 => "cache1",
+            ServiceId::Cache2 => "cache2",
+            ServiceId::Cache3 => "cache3",
+            ServiceId::AiInference => "ai-inference",
+            ServiceId::Kvstore => "kvstore",
+            ServiceId::Pqc => "pqc",
+        }
+    }
+
+    /// Parses a kebab-case identifier produced by [`ServiceId::slug`].
+    #[must_use]
+    pub fn from_slug(slug: &str) -> Option<ServiceId> {
+        ServiceId::ALL.into_iter().find(|s| s.slug() == slug)
     }
 }
 
@@ -99,12 +150,15 @@ impl fmt::Display for ServiceId {
             ServiceId::Cache1 => "Cache1",
             ServiceId::Cache2 => "Cache2",
             ServiceId::Cache3 => "Cache3",
+            ServiceId::AiInference => "AI-Inference",
+            ServiceId::Kvstore => "KVStore",
+            ServiceId::Pqc => "PQC",
         };
         f.write_str(name)
     }
 }
 
-/// The four service domains of §2.1.
+/// The four service domains of §2.1, plus one per workload pack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 #[serde(rename_all = "kebab-case")]
 pub enum ServiceDomain {
@@ -116,6 +170,12 @@ pub enum ServiceDomain {
     Ads,
     /// Distributed-memory object caching.
     Cache,
+    /// Standalone ML-inference serving (AI Tax workload pack).
+    MlInference,
+    /// Persistent key-value storage (kvstore workload pack).
+    Storage,
+    /// Cryptography-dominated transport (post-quantum workload pack).
+    Crypto,
 }
 
 /// Per-second operation rates for a service at peak load, used to derive
@@ -193,14 +253,16 @@ impl ServiceProfile {
 mod ads;
 mod cache;
 mod feed;
+mod packs;
 mod web;
 
 use ads::{ads1, ads2};
 use cache::{cache1, cache2, cache3};
 use feed::{feed1, feed2};
+use packs::{ai_inference, kvstore, pqc};
 use web::web;
 
-fn profile_data(id: ServiceId) -> ServiceProfile {
+pub(crate) fn profile_data(id: ServiceId) -> ServiceProfile {
     match id {
         ServiceId::Web => web(),
         ServiceId::Feed1 => feed1(),
@@ -210,12 +272,23 @@ fn profile_data(id: ServiceId) -> ServiceProfile {
         ServiceId::Cache1 => cache1(),
         ServiceId::Cache2 => cache2(),
         ServiceId::Cache3 => cache3(),
+        ServiceId::AiInference => ai_inference(),
+        ServiceId::Kvstore => kvstore(),
+        ServiceId::Pqc => pqc(),
     }
 }
 
 /// Returns the characterization profile for a service.
+///
+/// When a [`crate::registry::ServiceRegistry`] has been installed as the
+/// process-wide active registry (e.g. via `--services`), the profile
+/// comes from its loaded data; otherwise from the built-in constructors.
+/// The two paths are bit-exact for unmodified data files.
 #[must_use]
 pub fn profile(id: ServiceId) -> ServiceProfile {
+    if let Some(reg) = crate::registry::active_registry() {
+        return reg.profile(id);
+    }
     profile_data(id)
 }
 

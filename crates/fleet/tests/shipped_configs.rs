@@ -1,0 +1,61 @@
+//! Lockstep test for the committed service-profile data files: every
+//! `configs/services/<slug>.json` must be byte-identical to what the
+//! Rust constructors export. The constructors are the source of truth;
+//! the files are generated artifacts (`accelctl services export`).
+//!
+//! To regenerate after an intentional profile change:
+//!
+//! ```sh
+//! GOLDEN_BLESS=1 cargo test -p accelerometer-fleet --test shipped_configs
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use accelerometer_fleet::{ServiceId, ServiceRegistry};
+
+fn services_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../configs/services")
+}
+
+#[test]
+fn shipped_service_files_match_the_builtin_exporters() {
+    let dir = services_dir();
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        ServiceRegistry::export_dir(&dir).expect("export shipped configs");
+        return;
+    }
+    for id in ServiceId::ALL {
+        let path = dir.join(format!("{}.json", id.slug()));
+        let shipped = fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!("missing shipped spec {path:?} ({e}); run with GOLDEN_BLESS=1")
+        });
+        assert_eq!(
+            shipped,
+            ServiceRegistry::export_json(id),
+            "{id}: shipped spec drifted from its constructor; if intentional, \
+             regenerate with GOLDEN_BLESS=1"
+        );
+    }
+}
+
+#[test]
+fn shipped_directory_holds_exactly_the_known_services() {
+    let mut stems: Vec<String> = fs::read_dir(services_dir())
+        .expect("configs/services exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .filter_map(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .collect();
+    stems.sort();
+    let mut expected: Vec<String> = ServiceId::ALL.iter().map(|id| id.slug().to_owned()).collect();
+    expected.sort();
+    assert_eq!(stems, expected);
+}
+
+#[test]
+fn shipped_directory_loads_and_validates_as_a_full_registry() {
+    let registry = ServiceRegistry::load_path(&services_dir()).expect("shipped configs load");
+    assert_eq!(registry.loaded_services().len(), ServiceId::ALL.len());
+}

@@ -7,7 +7,6 @@
 //! IPC model — so the aggregation pipeline downstream must reconstruct
 //! the profile's marginals and IPCs as the sample count grows.
 
-use accelerometer_fleet::ipc::cache1_leaf_ipc;
 use accelerometer_fleet::{
     CpuGeneration, FunctionalityCategory, LeafCategory, MemoryOp, ServiceId, ServiceProfile,
 };
@@ -36,14 +35,13 @@ pub fn default_leaf_ipc(category: LeafCategory) -> f64 {
     }
 }
 
-/// IPC for a service's leaf category on a CPU generation: Cache1 uses the
-/// Fig. 8 data where available, everything else the default table.
+/// IPC for a service's leaf category on a CPU generation: the service's
+/// registry spec where it carries data (built-in Fig. 8 covers only
+/// Cache1), everything else the default table.
 #[must_use]
 pub fn leaf_ipc(service: ServiceId, category: LeafCategory, generation: CpuGeneration) -> f64 {
-    if service == ServiceId::Cache1 {
-        if let Some(scaling) = cache1_leaf_ipc(category) {
-            return scaling.for_generation(generation);
-        }
+    if let Some(scaling) = accelerometer_fleet::registry::leaf_ipc_scaling(service, category) {
+        return scaling.for_generation(generation);
     }
     default_leaf_ipc(category)
 }

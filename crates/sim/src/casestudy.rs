@@ -62,7 +62,7 @@ pub const INFERENCE_SCALE: f64 = 1.0e4;
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CaseStudyValidation {
     /// Case study name (Table 6 row).
-    pub name: &'static str,
+    pub name: String,
     /// Accelerometer's estimate (computed from the Table 6 scenario).
     pub model_estimate_percent: f64,
     /// The simulator's A/B-measured speedup.
@@ -145,7 +145,7 @@ fn offload_config(study: &CaseStudy, scale: f64, pollution: f64) -> OffloadConfi
 /// a study whose name is not a Table 6 row. This used to be a `panic!`
 /// reachable from the CLI.
 pub fn simulate(study: &CaseStudy, seed: u64) -> Result<(CaseStudyValidation, AbResult)> {
-    let (scale, pollution, horizon) = match study.name {
+    let (scale, pollution, horizon) = match study.name.as_str() {
         "aes-ni" => (1.0, AES_NI_POLLUTION, 2.5e8),
         "encryption" => (1.0, PCIE_POLLUTION, 8.0e8),
         "inference" => (INFERENCE_SCALE, REMOTE_POLLUTION, 1.2e9),
@@ -160,7 +160,7 @@ pub fn simulate(study: &CaseStudy, seed: u64) -> Result<(CaseStudyValidation, Ab
     let offload = offload_config(study, scale, pollution);
     let ab = run_ab(&control, offload);
     let validation = CaseStudyValidation {
-        name: study.name,
+        name: study.name.clone(),
         model_estimate_percent: study.scenario.estimate().throughput_gain_percent(),
         simulated_percent: ab.speedup_percent(),
         paper_estimated_percent: study.paper_estimated_percent,
@@ -225,7 +225,7 @@ mod tests {
     fn case_study_designs_match_table6() {
         for study in all_case_studies() {
             let (design, strategy, driver) =
-                expected_design(study.name).expect("known case study");
+                expected_design(&study.name).expect("known case study");
             assert_eq!(study.scenario.design, design, "{}", study.name);
             assert_eq!(study.scenario.strategy, strategy, "{}", study.name);
             assert_eq!(study.scenario.driver, driver, "{}", study.name);
@@ -238,7 +238,7 @@ mod tests {
         // Regression: this used to be `panic!("unknown case study …")`
         // reachable straight from the CLI.
         let mut study = aes_ni_cache1();
-        study.name = "bogus";
+        study.name = "bogus".to_owned();
         let err = simulate(&study, 42).unwrap_err();
         match &err {
             SimError::UnknownCaseStudy { name, valid } => {

@@ -71,6 +71,28 @@ echo "== isa smoke: accelctl --isa scalar and auto must match byte-for-byte =="
 cmp "$out_dir/faults_isa_scalar.json" "$out_dir/faults_isa_auto.json"
 cmp "$out_dir/faults_expected.json" "$out_dir/faults_isa_scalar.json"
 
+echo "== services gate: every shipped profile pack must parse and validate =="
+# A malformed configs/services/*.json (breakdown off 100%, non-monotone
+# CDF, negative IPC/rate, wrong filename) fails this command with a
+# structured error and breaks the gate.
+./target/release/accelctl services validate configs/services
+
+echo "== services smoke: data-driven profiles must be byte-identical to the builtins =="
+# The load-bearing equivalence of the data-path refactor: every runner
+# driven through --services configs/services must reproduce the
+# hard-wired constructors' output byte-for-byte, including against the
+# committed golden fixtures (which were NOT re-blessed for the data
+# path).
+./target/release/accelctl --services configs/services faults > "$out_dir/faults_svc.json"
+cmp "$out_dir/faults_expected.json" "$out_dir/faults_svc.json"
+./target/release/accelctl --services configs/services --shards 2 faults > "$out_dir/faults_svc_sharded.json"
+cmp "$out_dir/faults_sharded_expected.json" "$out_dir/faults_svc_sharded.json"
+./target/release/accelctl tables all > "$out_dir/tables_builtin.txt"
+./target/release/accelctl --services configs/services tables all > "$out_dir/tables_svc.txt"
+cmp "$out_dir/tables_builtin.txt" "$out_dir/tables_svc.txt"
+./target/release/tables --services configs/services table6 > "$out_dir/t6_svc.txt"
+cmp "$out_dir/j1.txt" "$out_dir/t6_svc.txt"
+
 if [ "${BENCH_REGRESS:-0}" = "1" ]; then
     echo "== bench regression gate (opt-in) =="
     sh scripts/bench_regress.sh
