@@ -18,7 +18,8 @@
 //! * `accelctl characterize <service> [--samples N] [--seed N]` — run the
 //!   synthetic profiler and print the §2 breakdowns;
 //! * `accelctl validate [--seed N] [--case C]` — run the Table 6 A/B
-//!   validation in the simulator (optionally a single case study);
+//!   validation in the simulator (optionally a single case study, or
+//!   `--case fallback` for the fault-capacity validation table);
 //! * `accelctl faults [scenario.json] [--seed N]` — sweep a fault
 //!   scenario across recovery policies and emit a JSON report
 //!   (deterministic at any `--jobs` width);
@@ -58,8 +59,8 @@ use accelerometer_kernels::dispatch;
 use accelerometer_profiler::{analyze, to_folded, TraceGenerator};
 use accelerometer_sim::faultsweep::demo_scenario;
 use accelerometer_sim::{
-    run_fault_sweep, set_default_shards, set_trace_reuse, simulate, validate_all, Calibrator,
-    FaultScenario, SimError, CASE_STUDY_NAMES,
+    run_fault_sweep, set_default_shards, set_trace_reuse, simulate, validate_all,
+    validate_fallback, Calibrator, FaultScenario, SimError, CASE_STUDY_NAMES,
 };
 
 /// Top-level usage text.
@@ -99,7 +100,10 @@ commands:
   project                         Section 5 recommendations (Fig. 20)
   characterize <service> [--samples N] [--seed N] [--folded]
   validate [--seed N] [--case C]  Table 6 A/B validation in the simulator
-                                  (C: aes-ni | encryption | inference)
+                                  (C: aes-ni | encryption | inference |
+                                  fallback — the fault-capacity table:
+                                  model fallback-load term vs simulated
+                                  A/B per failure probability)
   calibrate                       measure the case-study kernels on this
                                   host, both ISA tiers paired in the same
                                   session; prints per-kernel cycles/byte
@@ -461,13 +465,43 @@ fn cmd_characterize(args: &[String]) -> Result<String, String> {
 fn cmd_validate(args: &[String]) -> Result<String, String> {
     let seed = parse_f64(args, "--seed", Some(20_260_706.0))? as u64;
     if let Some(name) = flag_value(args, "--case") {
+        if name == "fallback" {
+            // Not a Table 6 row: the fault-capacity analogue. Model's
+            // fallback-load term vs a simulated A/B per failure rate.
+            let mut out = String::from(
+                "fallback-capacity validation (model vs simulated A/B; retries 1, fallback-to-host):\n",
+            );
+            for r in validate_fallback(seed) {
+                let _ = writeln!(
+                    out,
+                    "  p = {:.1}  E[a] {:.2}  p_fb {:.3}  model {:>6.2}%  simulated {:>6.2}%  fallbacks {:>5}  core util {:.4}  (model-vs-sim {:.2} pts)",
+                    r.failure_probability,
+                    r.expected_attempts,
+                    r.fallback_probability,
+                    r.model_gain_percent,
+                    r.simulated_gain_percent,
+                    r.fallbacks,
+                    r.core_utilization,
+                    r.model_vs_simulated_points(),
+                );
+            }
+            out.push_str(
+                "fallback re-executions are scheduled core slices: the model's\n\
+                 p_fb*alpha load term tracks the simulator within 2 points\n",
+            );
+            return Ok(out);
+        }
         let studies = all_case_studies();
         let Some(study) = studies.iter().find(|s| s.name == name) else {
-            return Err(SimError::UnknownCaseStudy {
-                name,
-                valid: CASE_STUDY_NAMES,
-            }
-            .to_string());
+            // `fallback` is a CLI-level case (handled above), not a sim
+            // case study, so append it to the sim error's valid list.
+            return Err(format!(
+                "{}; 'fallback' selects the fault-capacity table",
+                SimError::UnknownCaseStudy {
+                    name,
+                    valid: CASE_STUDY_NAMES,
+                }
+            ));
         };
         let (v, _ab) = simulate(study, seed).map_err(|e| e.to_string())?;
         return Ok(format!(
@@ -882,6 +916,18 @@ mod tests {
         let err = run(&args(&["validate", "--case", "bogus"])).unwrap_err();
         assert!(err.contains("unknown case study 'bogus'"), "{err}");
         assert!(err.contains("aes-ni, encryption, inference"), "{err}");
+        assert!(err.contains("'fallback'"), "{err}");
+    }
+
+    #[test]
+    fn validate_fallback_prints_the_fault_capacity_table() {
+        let out = run(&args(&["validate", "--case", "fallback"])).unwrap();
+        assert!(out.contains("fallback-capacity validation"), "{out}");
+        // One row per swept probability, healthy row included.
+        for p in ["p = 0.0", "p = 0.2", "p = 0.5", "p = 0.8"] {
+            assert!(out.contains(p), "missing {p}:\n{out}");
+        }
+        assert!(out.contains("model-vs-sim"), "{out}");
     }
 
     #[test]

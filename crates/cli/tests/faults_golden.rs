@@ -1,8 +1,11 @@
 //! Golden-output tests for `accelctl faults`: the committed fixture pins
 //! the report byte-for-byte, proves it is identical at any `--jobs`
-//! width, and demonstrates the acceptance property — retry + fallback
-//! recovery yields strictly higher goodput and a strictly lower p99 than
-//! no recovery under device degradation.
+//! width, and demonstrates the acceptance properties — retries alone
+//! yield strictly higher goodput than no recovery, and retry + fallback
+//! additionally zeroes failed requests and collapses the outage tail by
+//! an order of magnitude while its host re-executions (real, scheduled
+//! core slices since the fallback-capacity fix) cost at most a few
+//! percent of goodput.
 //!
 //! To regenerate after an intentional output change:
 //!
@@ -111,13 +114,31 @@ fn sharded_fixture_still_shows_recovery_beating_no_recovery() {
             .unwrap_or_else(|| panic!("policy {name} in fixture"))
     };
     let none = outcome("no-recovery");
+    let retry = outcome("retry");
     let recovered = outcome("retry-fallback");
     assert!(
-        recovered.goodput_per_gcycle > none.goodput_per_gcycle,
+        retry.goodput_per_gcycle > none.goodput_per_gcycle,
         "goodput {:.2} vs {:.2}",
-        recovered.goodput_per_gcycle,
+        retry.goodput_per_gcycle,
         none.goodput_per_gcycle
     );
+    assert_eq!(recovered.metrics.faults.failed_requests, 0);
+    assert!(
+        recovered.p99_latency < none.p99_latency,
+        "p99 {:.0} vs {:.0}",
+        recovered.p99_latency,
+        none.p99_latency
+    );
+    // Honest accounting: fallback re-executions are scheduled slices,
+    // so the sharded run conserves core capacity too.
+    for o in &report.outcomes {
+        assert!(
+            o.metrics.core_utilization <= 1.0 + 1e-9,
+            "{}: core util {}",
+            o.policy,
+            o.metrics.core_utilization
+        );
+    }
 }
 
 #[test]
@@ -141,19 +162,43 @@ fn fixture_shows_recovery_strictly_beats_no_recovery() {
             .unwrap_or_else(|| panic!("policy {name} in fixture"))
     };
     let none = outcome("no-recovery");
+    let retry = outcome("retry");
     let recovered = outcome("retry-fallback");
+    // Retries convert transient failures into successes without
+    // consuming host capacity: a strict goodput win.
     assert!(
-        recovered.goodput_per_gcycle > none.goodput_per_gcycle,
+        retry.goodput_per_gcycle > none.goodput_per_gcycle,
         "goodput {:.2} vs {:.2}",
-        recovered.goodput_per_gcycle,
+        retry.goodput_per_gcycle,
         none.goodput_per_gcycle
     );
+    // Fallback additionally eliminates failures and collapses the tail;
+    // its host re-executions are real scheduled slices, so that
+    // protection costs a bounded few percent of goodput during a full
+    // outage (where unprotected requests are merely late, not lost).
+    assert_eq!(recovered.metrics.faults.failed_requests, 0);
     assert!(
-        recovered.p99_latency < none.p99_latency,
+        recovered.p99_latency * 10.0 < none.p99_latency,
         "p99 {:.0} vs {:.0}",
         recovered.p99_latency,
         none.p99_latency
     );
+    assert!(
+        recovered.goodput_per_gcycle > 0.95 * none.goodput_per_gcycle,
+        "goodput {:.2} vs {:.2}",
+        recovered.goodput_per_gcycle,
+        none.goodput_per_gcycle
+    );
+    // Capacity is conserved for every policy — the old phantom
+    // accounting pushed retry-fallback's utilization past 1.
+    for o in &report.outcomes {
+        assert!(
+            o.metrics.core_utilization <= 1.0 + 1e-9,
+            "{}: core util {}",
+            o.policy,
+            o.metrics.core_utilization
+        );
+    }
     // Fallback alone caps the damage but cannot restore the SLO; the
     // combined policy (retries + fallback + admission control) does.
     assert!(!none.slo_met);

@@ -286,6 +286,65 @@ pub fn estimate(
     }
 }
 
+/// Evaluates the model under a fault/recovery regime described by a
+/// [`FaultLoad`](crate::queueing::FaultLoad).
+///
+/// Two fault terms extend eqn (1), mirroring what the simulator now
+/// schedules as real work:
+///
+/// * **Retry inflation.** Every saga attempt crosses the interface and
+///   occupies the accelerator, so the per-offload overhead `o0 + (L+Q)`
+///   and the accelerator operating time `α/A` are multiplied by the
+///   expected attempts `E[a] = (1 − p^(r+1)) / (1 − p)`. Callers
+///   driving the `Q` estimators should likewise inflate the arrival
+///   rate with [`FaultLoad::inflated_arrival_rate`].
+/// * **Fallback load.** A saga that exhausts its attempts under a
+///   fallback policy re-executes the kernel on the host: expected host
+///   demand `p_fb · α·C` lands back on the throughput *and* latency
+///   paths (`p_fb = p^(r+1)` with fallback, 0 without).
+///
+/// Retry backoff waits are thread-idle time, not host cycles, so they
+/// appear on neither path. With `p = 0` the result is bit-identical to
+/// [`estimate`].
+#[must_use]
+pub fn estimate_with_faults(
+    params: &ModelParams,
+    design: ThreadingDesign,
+    strategy: AccelerationStrategy,
+    driver: DriverMode,
+    load: &crate::queueing::FaultLoad,
+) -> Estimate {
+    let c = params.host_cycles();
+    let n = params.offloads();
+    let alpha = params.kernel_fraction();
+    let accel_term = alpha / params.peak_speedup();
+    let attempts = load.expected_attempts;
+    let fallback_term = load.host_fallback_probability() * alpha;
+
+    // --- Throughput path: CS ---------------------------------------------
+    let mut cs_fraction = 1.0 - alpha + fallback_term;
+    if design.accelerator_time_on_throughput_path() {
+        cs_fraction += accel_term * attempts;
+    }
+    let ovh_s = throughput_overhead_per_offload(params, design, strategy, driver);
+    cs_fraction += n * attempts * ovh_s.get() / c.get();
+
+    // --- Latency path: CL -------------------------------------------------
+    let mut cl_fraction = 1.0 - alpha + fallback_term;
+    if accelerator_time_in_latency(design, strategy) {
+        cl_fraction += accel_term * attempts;
+    }
+    let ovh_l = latency_overhead_per_offload(params, design);
+    cl_fraction += n * attempts * ovh_l.get() / c.get();
+
+    Estimate {
+        throughput_speedup: 1.0 / cs_fraction,
+        latency_reduction: 1.0 / cl_fraction,
+        host_cycles_accelerated: c * cs_fraction,
+        request_path_cycles: c * cl_fraction,
+    }
+}
+
 /// Evaluates the model with an explicit per-offload queueing distribution,
 /// replacing the mean-queueing term `n·Q` with `Σᵢ Qᵢ` (§3, eqn (1)
 /// discussion).
@@ -575,6 +634,68 @@ mod tests {
         // cycles: acceleration must hurt, and the condition must agree.
         assert!(acc > unacc);
         assert!(!est.improves_throughput());
+    }
+
+    #[test]
+    fn healthy_fault_load_degenerates_to_estimate() {
+        // p = 0 → one attempt, no fallback: bit-identical to the
+        // fault-free model on every design × strategy combination.
+        let p = params(2.0e9, 0.165844, 298_951.0, 10.0, 3.0, 25.0, 40.0, 6.0);
+        let load = crate::queueing::fault_load(0.0, 3, true).unwrap();
+        for design in ThreadingDesign::ALL {
+            for strategy in AccelerationStrategy::ALL {
+                let healthy = estimate(&p, design, strategy, DriverMode::AwaitsAck);
+                let faulted =
+                    estimate_with_faults(&p, design, strategy, DriverMode::AwaitsAck, &load);
+                assert_eq!(healthy, faulted, "{design:?}/{strategy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fault_terms_match_hand_computation() {
+        // C = 1e9, α = 0.4, n = 1000, o0+L = 13, A = 4; p = 0.5, r = 1,
+        // fallback on → E[a] = 1.5, p_fb = 0.25.
+        let p = params(1e9, 0.4, 1_000.0, 10.0, 3.0, 0.0, 0.0, 4.0);
+        let load = crate::queueing::fault_load(0.5, 1, true).unwrap();
+        let est = estimate_with_faults(
+            &p,
+            ThreadingDesign::Sync,
+            AccelerationStrategy::OnChip,
+            DriverMode::Posted,
+            &load,
+        );
+        // CS/C = (1 − α) + p_fb·α + (α/A)·E[a] + n·E[a]·13/C
+        let expected =
+            0.6 + 0.25 * 0.4 + 0.1 * 1.5 + 1_000.0 * 1.5 * 13.0 / 1e9;
+        assert!(
+            (est.throughput_speedup - 1.0 / expected).abs() < 1e-12,
+            "speedup {} vs {}",
+            est.throughput_speedup,
+            1.0 / expected
+        );
+        // Retries and fallback can only hurt: strictly worse than the
+        // healthy estimate on both paths.
+        let healthy = estimate(
+            &p,
+            ThreadingDesign::Sync,
+            AccelerationStrategy::OnChip,
+            DriverMode::Posted,
+        );
+        assert!(est.throughput_speedup < healthy.throughput_speedup);
+        assert!(est.latency_reduction < healthy.latency_reduction);
+        // Without fallback the host sheds the exhausted work instead of
+        // re-executing it: higher throughput than with fallback (the
+        // goodput cost is not the model's axis).
+        let abandon = crate::queueing::fault_load(0.5, 1, false).unwrap();
+        let est_abandon = estimate_with_faults(
+            &p,
+            ThreadingDesign::Sync,
+            AccelerationStrategy::OnChip,
+            DriverMode::Posted,
+            &abandon,
+        );
+        assert!(est_abandon.throughput_speedup > est.throughput_speedup);
     }
 
     #[test]

@@ -171,6 +171,38 @@ pub fn project_with_context(
     ctx: &OffloadContext,
     policy: OffloadPolicy,
 ) -> Result<Projection> {
+    project_inner(profile, accel, ctx, policy, None)
+}
+
+/// Like [`project_with_context`], but evaluating the model under the
+/// fault/recovery regime described by `load` (see
+/// [`estimate_with_faults`](crate::model::estimate_with_faults)):
+/// retries inflate the per-offload overheads and accelerator time by
+/// the expected attempts, and exhausted sagas under a fallback policy
+/// land their kernel work back on the host. The break-even point and
+/// lucrative selection are computed from the healthy overheads — the
+/// offload policy is decided at design time, the faults arrive later.
+///
+/// # Errors
+///
+/// Same as [`project`].
+pub fn project_with_faults(
+    profile: &KernelProfile,
+    accel: &AcceleratorSpec,
+    ctx: &OffloadContext,
+    policy: OffloadPolicy,
+    load: &crate::queueing::FaultLoad,
+) -> Result<Projection> {
+    project_inner(profile, accel, ctx, policy, Some(load))
+}
+
+fn project_inner(
+    profile: &KernelProfile,
+    accel: &AcceleratorSpec,
+    ctx: &OffloadContext,
+    policy: OffloadPolicy,
+    load: Option<&crate::queueing::FaultLoad>,
+) -> Result<Projection> {
     let breakeven = throughput_breakeven(&profile.cost, ctx);
     let selection = match policy {
         OffloadPolicy::SelectiveLucrative => select_lucrative(
@@ -202,7 +234,12 @@ pub fn project_with_context(
             .overheads(accel.overheads)
             .peak_speedup(accel.peak_speedup)
             .build()?;
-        estimate(&params, ctx.design, ctx.strategy, ctx.driver)
+        match load {
+            Some(load) => {
+                crate::model::estimate_with_faults(&params, ctx.design, ctx.strategy, ctx.driver, load)
+            }
+            None => estimate(&params, ctx.design, ctx.strategy, ctx.driver),
+        }
     };
 
     Ok(Projection {
@@ -291,6 +328,52 @@ mod tests {
         );
         assert!((p.estimate.latency_gain_percent() - 13.6).abs() < 0.1);
         assert!((p.ideal_speedup - 1.176).abs() < 0.001);
+    }
+
+    /// Fault-aware projections: a healthy fault load is bit-identical
+    /// to the plain projection, and faults monotonically shrink the
+    /// projected gain.
+    #[test]
+    fn fault_projection_degenerates_and_degrades() {
+        let profile = feed1_compression();
+        let accel = on_chip_compressor();
+        let ctx = OffloadContext::new(
+            accel.overheads,
+            accel.peak_speedup,
+            ThreadingDesign::Sync,
+            accel.strategy,
+        );
+        let plain =
+            project_with_context(&profile, &accel, &ctx, OffloadPolicy::OffloadAll).unwrap();
+        let healthy = crate::queueing::fault_load(0.0, 3, true).unwrap();
+        let same = project_with_faults(
+            &profile,
+            &accel,
+            &ctx,
+            OffloadPolicy::OffloadAll,
+            &healthy,
+        )
+        .unwrap();
+        assert_eq!(plain, same);
+
+        let degraded = crate::queueing::fault_load(0.3, 1, true).unwrap();
+        let worse = project_with_faults(
+            &profile,
+            &accel,
+            &ctx,
+            OffloadPolicy::OffloadAll,
+            &degraded,
+        )
+        .unwrap();
+        assert!(
+            worse.estimate.throughput_speedup < plain.estimate.throughput_speedup,
+            "faults must shrink the projected gain: {} vs {}",
+            worse.estimate.throughput_speedup,
+            plain.estimate.throughput_speedup
+        );
+        // Selection and break-even are design-time decisions: identical.
+        assert_eq!(worse.selection, plain.selection);
+        assert_eq!(worse.breakeven, plain.breakeven);
     }
 
     /// Fig. 20 Feed1 compression, off-chip Sync: break-even 425 B, 64.2%

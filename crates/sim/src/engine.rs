@@ -193,6 +193,16 @@ enum Event {
         /// request still completes but counts as failed.
         failed: bool,
     },
+    /// A saga exhausted its retries and the recovery policy re-executes
+    /// the kernel on the host (fault injection): queue the re-execution
+    /// on the dispatching thread as a real slice that competes for a
+    /// core. Only ever constructed on the `FAULTY = true` paths.
+    FallbackDue {
+        thread: usize,
+        request: usize,
+        /// Host cycles the re-execution costs.
+        cycles: f64,
+    },
 }
 
 #[derive(Debug, Default, Clone, Copy, PartialEq)]
@@ -862,12 +872,54 @@ impl Simulator {
                     self.schedule::<OFFLOAD, FAULTY>();
                 }
             }
+            Event::FallbackDue {
+                thread,
+                request,
+                cycles,
+            } => {
+                // The host re-execution became eligible: make it the
+                // thread's next slice so it occupies a core for the full
+                // host cost, delaying everything scheduled behind it —
+                // the capacity the old phantom `core_busy +=` credit
+                // never actually took from anyone.
+                self.threads[thread]
+                    .items
+                    .push_front(WorkItem::Fallback { request, cycles });
+                if self.threads[thread].state == ThreadState::Blocked {
+                    // Sync-OS: the dispatching thread blocked on the
+                    // saga, and this delivery is what wakes it (taking
+                    // over `OffloadDone`'s role, including the 2·o1
+                    // wake charge, which runs before the fallback
+                    // slice).
+                    if self.cfg.context_switch_cycles > 0.0 {
+                        self.threads[thread]
+                            .items
+                            .push_front(WorkItem::Host(self.cfg.context_switch_cycles));
+                    }
+                    self.threads[thread].state = ThreadState::Ready;
+                    self.ready.push_back(thread);
+                    self.schedule::<OFFLOAD, FAULTY>();
+                }
+            }
         }
     }
 
     fn release_core(&mut self, core: usize, last_thread: usize) {
         self.core_last_thread[core] = Some(last_thread);
         self.free_cores.push(core);
+    }
+
+    /// Accrues core-busy time for a slice beginning at `start`, clamped
+    /// at the horizon: the part of a slice that runs past the end of the
+    /// measurement window contributes no measured busy time (the same
+    /// rule `Device::utilization` applies to device busy time), keeping
+    /// `core_utilization <= 1` exact. Only the accumulator clamps —
+    /// event timing is untouched, and a slice that ends at or before
+    /// the horizon charges bit-identically to the unclamped sum.
+    #[inline]
+    fn charge_busy(&mut self, start: SimTime, cycles: f64) {
+        let room = (self.cfg.horizon - start.cycles()).max(0.0);
+        self.core_busy += cycles.min(room);
     }
 
     /// Assign ready threads to free cores.
@@ -879,8 +931,8 @@ impl Simulator {
             if self.core_last_thread[core] != Some(thread) && self.core_last_thread[core].is_some()
             {
                 // Context switch: restoring a different thread's state.
+                self.charge_busy(start, self.cfg.context_switch_cycles);
                 start += self.cfg.context_switch_cycles;
-                self.core_busy += self.cfg.context_switch_cycles;
                 self.switches += 1;
             }
             self.threads[thread].state = ThreadState::Running;
@@ -902,7 +954,7 @@ impl Simulator {
         if OFFLOAD {
             if let Some(request) = self.threads[thread].pickups.pop_front() {
                 let end = start + self.cfg.context_switch_cycles;
-                self.core_busy += self.cfg.context_switch_cycles;
+                self.charge_busy(start, self.cfg.context_switch_cycles);
                 self.slab.outstanding[request] -= 1;
                 self.slab.lower_bound[request] = self.slab.lower_bound[request].max(end);
                 self.try_complete(request, end);
@@ -926,11 +978,25 @@ impl Simulator {
 
         match item {
             WorkItem::Host(cycles) => {
-                self.core_busy += cycles;
+                self.charge_busy(start, cycles);
                 self.push_event(start + cycles, Event::SliceDone { thread, core });
             }
             WorkItem::Kernel { bytes } => {
                 self.execute_kernel::<OFFLOAD, FAULTY>(thread, core, start, bytes);
+            }
+            WorkItem::Fallback { request, cycles } => {
+                // Host re-execution of a failed offload: occupies this
+                // core for the full host cost like any other slice. The
+                // item carries its own request index — the thread may
+                // already be several requests ahead by the time the
+                // fallback runs (async designs keep working while the
+                // saga plays out).
+                let end = start + cycles;
+                self.charge_busy(start, cycles);
+                self.slab.outstanding[request] -= 1;
+                self.slab.lower_bound[request] = self.slab.lower_bound[request].max(end);
+                self.try_complete(request, end);
+                self.push_event(end, Event::SliceDone { thread, core });
             }
         }
     }
@@ -944,7 +1010,7 @@ impl Simulator {
     ) {
         let host_cycles = self.cfg.workload.kernel_host_cycles(bytes);
         if !OFFLOAD {
-            self.core_busy += host_cycles;
+            self.charge_busy(start, host_cycles);
             self.push_event(start + host_cycles, Event::SliceDone { thread, core });
             return;
         }
@@ -953,7 +1019,7 @@ impl Simulator {
             if bytes <= min {
                 // Below break-even: execute locally.
                 self.suppressed += 1;
-                self.core_busy += host_cycles;
+                self.charge_busy(start, host_cycles);
                 self.push_event(start + host_cycles, Event::SliceDone { thread, core });
                 return;
             }
@@ -968,7 +1034,7 @@ impl Simulator {
                 if let Some(limit) = fault.recovery.shed_backlog_cycles {
                     if device.predicted_queue_delay(start, core) > limit {
                         fault.metrics.shed_offloads += 1;
-                        self.core_busy += host_cycles;
+                        self.charge_busy(start, host_cycles);
                         self.push_event(start + host_cycles, Event::SliceDone { thread, core });
                         return;
                     }
@@ -990,12 +1056,13 @@ impl Simulator {
         // their healthy-path meanings so the engagement rules below are
         // untouched. The fault-free arm is the exact original path, and
         // the `FAULTY = false` specialization contains only that arm.
-        let (done, service_start, failed, fallback_host_cycles) = if FAULTY {
+        let (done, detect, service_start, failed, fallback_host_cycles) = if FAULTY {
             match self.fault.as_mut() {
                 Some(fault) => {
                     let saga = fault.offload_saga(device, issue, core, service, host_cycles);
                     (
                         saga.done,
+                        saga.detect,
                         saga.engaged_ref,
                         saga.abandoned,
                         saga.fallback_host_cycles,
@@ -1003,14 +1070,21 @@ impl Simulator {
                 }
                 None => {
                     let dispatch = device.dispatch(issue, core, service);
-                    (dispatch.done, dispatch.service_start, false, 0.0)
+                    (dispatch.done, dispatch.done, dispatch.service_start, false, 0.0)
                 }
             }
         } else {
             let dispatch = device.dispatch(issue, core, service);
-            (dispatch.done, dispatch.service_start, false, 0.0)
+            (dispatch.done, dispatch.done, dispatch.service_start, false, 0.0)
         };
         let request = self.threads[thread].request;
+        // A saga that resolves by fallback schedules the host
+        // re-execution as a real slice from the detection instant — it
+        // must compete for a core, not be credited as phantom busy
+        // time. Sync is the exception: its blocked round trip already
+        // holds the core through `done`, which includes the
+        // re-execution.
+        let fell_back = FAULTY && fallback_host_cycles > 0.0;
 
         // Host-side engagement beyond setup: how long the core stays
         // occupied with this offload (the model's L+Q routing rules).
@@ -1023,18 +1097,13 @@ impl Simulator {
             (_, _, _) => service_start,
         };
 
-        // A host fallback consumes core cycles wherever it runs; Sync
-        // already charges them inside the blocked round trip below.
-        // Adding 0.0 on the healthy path is bit-exact.
-        if offload.design != ThreadingDesign::Sync {
-            self.core_busy += fallback_host_cycles;
-        }
-
         match offload.design {
             ThreadingDesign::Sync => {
-                // Core held for the whole round trip (Fig. 12).
+                // Core held for the whole round trip (Fig. 12) — under a
+                // fallback `done` already includes the host
+                // re-execution, charged here as held time.
                 let held = done - start;
-                self.core_busy += held;
+                self.charge_busy(start, held);
                 self.slab.outstanding[request] += 1;
                 self.push_event(
                     done,
@@ -1052,20 +1121,36 @@ impl Simulator {
                 // Core engaged through the ack, then switches away; the
                 // thread blocks until the response (Fig. 13).
                 let engaged_until = transfer_engaged.max(start);
-                self.core_busy += engaged_until - start;
+                self.charge_busy(start, engaged_until - start);
                 self.threads[thread].state = ThreadState::Blocked;
                 self.slab.outstanding[request] += 1;
                 self.push_event(engaged_until, Event::DispatchDone { thread, core });
-                self.push_event(
-                    done.max(engaged_until),
-                    Event::OffloadDone {
-                        thread,
-                        request,
-                        pickup: false,
-                        wakes_thread: true,
-                        failed,
-                    },
-                );
+                if fell_back {
+                    // No response will arrive; the fallback delivery
+                    // wakes the blocked thread (taking over
+                    // `OffloadDone`'s role) and queues the re-execution
+                    // as its next slice. Pushed after `DispatchDone` so
+                    // a tie at `engaged_until` releases the core first.
+                    self.push_event(
+                        detect.max(engaged_until),
+                        Event::FallbackDue {
+                            thread,
+                            request,
+                            cycles: fallback_host_cycles,
+                        },
+                    );
+                } else {
+                    self.push_event(
+                        done.max(engaged_until),
+                        Event::OffloadDone {
+                            thread,
+                            request,
+                            pickup: false,
+                            wakes_thread: true,
+                            failed,
+                        },
+                    );
+                }
             }
             ThreadingDesign::AsyncSameThread
             | ThreadingDesign::AsyncDistinctThread
@@ -1073,28 +1158,46 @@ impl Simulator {
                 // Host engaged through dispatch, then keeps working
                 // (Fig. 14).
                 let engaged_until = transfer_engaged.max(start);
-                self.core_busy += engaged_until - start;
+                self.charge_busy(start, engaged_until - start);
                 self.slab.outstanding[request] += 1;
-                let pickup = offload.design == ThreadingDesign::AsyncDistinctThread;
-                let track_completion = offload.design != ThreadingDesign::AsyncNoResponse
-                    || offload.strategy != AccelerationStrategy::Remote;
-                if track_completion {
+                if fell_back {
+                    // The device never produced a result, so there is
+                    // no response to deliver or pick up (even on
+                    // DistinctThread, and even fire-and-forget Remote
+                    // must re-execute to produce the effect): the
+                    // re-execution is queued on the dispatching thread
+                    // at detection time and holds the request open
+                    // until it finishes on a core.
                     self.push_event(
-                        done,
-                        Event::OffloadDone {
+                        detect.max(engaged_until),
+                        Event::FallbackDue {
                             thread,
                             request,
-                            pickup,
-                            wakes_thread: false,
-                            failed,
+                            cycles: fallback_host_cycles,
                         },
                     );
                 } else {
-                    // Remote fire-and-forget: the response never returns
-                    // to this microservice, but an abandoned offload
-                    // still fails the request.
-                    self.slab.outstanding[request] -= 1;
-                    self.slab.flags[request] |= u8::from(failed) * FAILED;
+                    let pickup = offload.design == ThreadingDesign::AsyncDistinctThread;
+                    let track_completion = offload.design != ThreadingDesign::AsyncNoResponse
+                        || offload.strategy != AccelerationStrategy::Remote;
+                    if track_completion {
+                        self.push_event(
+                            done,
+                            Event::OffloadDone {
+                                thread,
+                                request,
+                                pickup,
+                                wakes_thread: false,
+                                failed,
+                            },
+                        );
+                    } else {
+                        // Remote fire-and-forget: the response never
+                        // returns to this microservice, but an
+                        // abandoned offload still fails the request.
+                        self.slab.outstanding[request] -= 1;
+                        self.slab.flags[request] |= u8::from(failed) * FAILED;
+                    }
                 }
                 self.push_event(engaged_until, Event::SliceDone { thread, core });
             }
@@ -1653,6 +1756,55 @@ mod tests {
             protected.faults.goodput_per_gcycle,
             unprotected.faults.goodput_per_gcycle
         );
+    }
+
+    #[test]
+    fn fallback_slices_delay_co_scheduled_threads() {
+        // One core, two Sync-OS threads: while one thread's fallback
+        // re-execution occupies the core, the other thread must wait.
+        // With every offload failing and zero retries, the fallback run
+        // does the whole kernel on the host per request; the abandon run
+        // skips that work entirely. Under the old phantom accounting
+        // (`core_busy += fallback_host_cycles`, no scheduler slice) both
+        // runs completed the *same* number of requests — the fallback
+        // cycles delayed nobody. With real slices the shared core is the
+        // bottleneck and the fallback run demonstrably completes fewer.
+        let mut cfg = base_config();
+        cfg.cores = 1;
+        cfg.threads = 2;
+        cfg.context_switch_cycles = 400.0;
+        cfg.offload = Some(OffloadConfig {
+            design: ThreadingDesign::SyncOs,
+            ..faulty_offload()
+        });
+        cfg.fault = FaultPlan {
+            failure_probability: 1.0,
+            ..FaultPlan::none()
+        };
+        let abandoned = Simulator::new(cfg.clone()).run();
+        cfg.recovery = RecoveryPolicy {
+            fallback_to_host: true,
+            ..RecoveryPolicy::none()
+        };
+        let fallback = Simulator::new(cfg).run();
+
+        assert!(fallback.faults.fallbacks > 0);
+        assert_eq!(fallback.faults.failed_requests, 0);
+        // Every request failed without recovery, so goodput is zero
+        // there and positive with fallback.
+        assert_eq!(abandoned.faults.goodput_per_gcycle, 0.0);
+        assert!(fallback.faults.goodput_per_gcycle > 0.0);
+        // The real cost: the re-execution slices displace fresh work on
+        // the only core. Materially fewer requests finish.
+        assert!(
+            (abandoned.completed_requests as f64) > 1.05 * fallback.completed_requests as f64,
+            "abandon completed {} vs fallback {}",
+            abandoned.completed_requests,
+            fallback.completed_requests
+        );
+        // And the capacity books stay honest on both sides.
+        assert!(abandoned.core_utilization <= 1.0 + 1e-9);
+        assert!(fallback.core_utilization <= 1.0 + 1e-9);
     }
 
     #[test]

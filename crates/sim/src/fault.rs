@@ -269,10 +269,18 @@ pub(crate) struct SagaOutcome {
     /// When the offload's result is finally in hand (success, fallback
     /// completion, or abandonment detection).
     pub done: SimTime,
+    /// When the host learned the saga's final resolution: the last
+    /// attempt's response (or timeout deadline) for failures, `done`
+    /// for successes. A fallback's host re-execution becomes *eligible*
+    /// to run at this instant — the engine schedules it as a real slice
+    /// from here, rather than assuming it ran for free inside
+    /// `[detect, done)`.
+    pub detect: SimTime,
     /// The first attempt's service start (the engine's engagement
     /// reference), clamped to `done`.
     pub engaged_ref: SimTime,
-    /// Host cycles consumed by a fallback execution (0 otherwise).
+    /// Host cycles a fallback execution needs (0 otherwise). The engine
+    /// charges these through the scheduler, not here.
     pub fallback_host_cycles: f64,
     /// The offload was abandoned: no result, the request fails.
     pub abandoned: bool,
@@ -340,6 +348,7 @@ impl FaultState {
             if !failed && !timed_out {
                 return SagaOutcome {
                     done: dispatch.done,
+                    detect: dispatch.done,
                     engaged_ref: engaged.min(dispatch.done),
                     fallback_host_cycles: 0.0,
                     abandoned: false,
@@ -365,7 +374,13 @@ impl FaultState {
             if self.recovery.fallback_to_host {
                 self.metrics.fallbacks += 1;
                 return SagaOutcome {
+                    // `done` is the earliest the result can exist — host
+                    // re-execution starting right at detection. Designs
+                    // that hold the core through the saga (Sync) use it;
+                    // everyone else schedules a slice at `detect` and
+                    // completes whenever that slice actually ran.
                     done: detect + host_cycles,
+                    detect,
                     engaged_ref: engaged.min(detect + host_cycles),
                     fallback_host_cycles: host_cycles,
                     abandoned: false,
@@ -374,6 +389,7 @@ impl FaultState {
             self.metrics.abandoned_offloads += 1;
             return SagaOutcome {
                 done: detect,
+                detect,
                 engaged_ref: engaged.min(detect),
                 fallback_host_cycles: 0.0,
                 abandoned: true,
@@ -478,6 +494,9 @@ mod tests {
         // Three attempts plus backoffs plus the host execution.
         assert!(saga.done.cycles() > 400.0);
         assert_eq!(saga.fallback_host_cycles, 400.0);
+        // Detection precedes the earliest possible completion by exactly
+        // the host re-execution the engine must now schedule.
+        assert_eq!(saga.done.cycles() - saga.detect.cycles(), 400.0);
     }
 
     #[test]
@@ -494,6 +513,7 @@ mod tests {
         let saga = state.offload_saga(&mut dev, SimTime::new(0.0), 0, 10_000.0, 400.0);
         assert_eq!(state.metrics.timeouts, 1);
         assert_eq!(state.metrics.fallbacks, 1);
+        assert_eq!(saga.detect.cycles(), 200.0); // the deadline fires
         assert_eq!(saga.done.cycles(), 600.0); // deadline 200 + host 400
     }
 

@@ -69,8 +69,9 @@ pub use device::{Device, DeviceKind};
 pub use error::SimError;
 pub use fault::{DegradationWindow, FaultPlan, RecoveryPolicy};
 pub use faultsweep::{
-    run_fault_sweep, run_fault_sweep_with, FaultScenario, FaultSweepReport, NamedPolicy,
-    PolicyOutcome,
+    run_fault_sweep, run_fault_sweep_with, validate_fallback, validate_fallback_with,
+    FallbackValidationRow, FaultModelCheck, FaultScenario, FaultSweepReport, NamedPolicy,
+    PolicyOutcome, FALLBACK_VALIDATION_PROBABILITIES,
 };
 pub use loadsweep::{
     concurrency_sweep, concurrency_sweep_with, device_capacity_sweep, device_capacity_sweep_with,

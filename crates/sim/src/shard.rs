@@ -141,9 +141,14 @@ pub struct ShardStats {
     pub plan: ShardPlan,
     /// Events each shard processed, in shard-index order.
     pub per_shard_events: Vec<u64>,
+    /// Peak simultaneous live requests each shard observed, in
+    /// shard-index order. Shards share no requests, so per-shard peaks
+    /// are exact; the merged [`EngineStats::peak_live_requests`] takes
+    /// their maximum (the largest peak any one engine actually held —
+    /// summing would fabricate a "fleet-wide peak" no engine ever saw).
+    pub per_shard_peak_live: Vec<usize>,
     /// Engine counters summed across shards (`peak_live_requests` is
-    /// the sum of per-shard peaks — an upper bound on simultaneous live
-    /// requests).
+    /// the max of `per_shard_peak_live`).
     pub engine: EngineStats,
 }
 
@@ -257,6 +262,7 @@ fn merge(cfg: &SimConfig, plan: ShardPlan, outputs: &[ShardOutput]) -> (SimMetri
     let mut faults: Option<FaultMetrics> = None;
     let mut engine = EngineStats::default();
     let mut per_shard_events = Vec::with_capacity(outputs.len());
+    let mut per_shard_peak_live = Vec::with_capacity(outputs.len());
     for out in outputs {
         completed += out.completed;
         completed_failed += out.completed_failed;
@@ -283,7 +289,7 @@ fn merge(cfg: &SimConfig, plan: ShardPlan, outputs: &[ShardOutput]) -> (SimMetri
         }
         engine.events_processed += out.stats.events_processed;
         engine.events_scheduled += out.stats.events_scheduled;
-        engine.peak_live_requests += out.stats.peak_live_requests;
+        engine.peak_live_requests = engine.peak_live_requests.max(out.stats.peak_live_requests);
         engine.batch_runs += out.stats.batch_runs;
         engine.multi_event_batches += out.stats.multi_event_batches;
         engine.heap_sift_ups += out.stats.heap_sift_ups;
@@ -291,6 +297,7 @@ fn merge(cfg: &SimConfig, plan: ShardPlan, outputs: &[ShardOutput]) -> (SimMetri
         engine.bank_refills += out.stats.bank_refills;
         engine.trace_requests_replayed += out.stats.trace_requests_replayed;
         per_shard_events.push(out.stats.events_processed);
+        per_shard_peak_live.push(out.stats.peak_live_requests);
     }
     let faults = faults.map_or_else(FaultMetrics::default, |mut m| {
         m.failed_requests = completed_failed;
@@ -324,6 +331,7 @@ fn merge(cfg: &SimConfig, plan: ShardPlan, outputs: &[ShardOutput]) -> (SimMetri
     let stats = ShardStats {
         plan,
         per_shard_events,
+        per_shard_peak_live,
         engine,
     };
     (metrics, stats)
@@ -499,6 +507,35 @@ mod tests {
         let classic = Simulator::new(cfg.clone()).run();
         let sharded = run_sharded(&ExecPool::new(4), &cfg).unwrap();
         assert_eq!(classic, sharded);
+    }
+
+    #[test]
+    fn merged_peak_live_requests_is_the_max_of_shard_peaks() {
+        // Shards hold disjoint request slabs, so the merged peak is the
+        // largest peak any single engine actually observed — summing
+        // per-shard peaks would fabricate a simultaneous "fleet peak"
+        // no engine ever held.
+        let cfg = sharded_config();
+        let (_, stats) = run_sharded_instrumented(&ExecPool::new(1), &cfg).unwrap();
+        assert_eq!(stats.per_shard_peak_live.len(), stats.plan.shards);
+        assert!(stats.per_shard_peak_live.iter().all(|&p| p > 0));
+        assert_eq!(
+            stats.engine.peak_live_requests,
+            stats.per_shard_peak_live.iter().copied().max().unwrap()
+        );
+
+        // A degenerate single-shard plan must reproduce the classic
+        // engine's counters bit for bit (max of one value == the value).
+        let mut single = cfg;
+        single.cores = 3;
+        single.threads = 7;
+        let (_, sharded_stats) = run_sharded_instrumented(&ExecPool::new(2), &single).unwrap();
+        let (_, classic_stats) = Simulator::new(single).run_instrumented();
+        assert_eq!(sharded_stats.engine, classic_stats);
+        assert_eq!(
+            sharded_stats.per_shard_peak_live,
+            vec![classic_stats.peak_live_requests]
+        );
     }
 
     #[test]

@@ -21,6 +21,16 @@ pub enum WorkItem {
         /// The invocation's granularity in bytes.
         bytes: f64,
     },
+    /// Host re-execution of a failed offload (fallback-to-host). Never
+    /// appears in sampled requests — the engine injects it at fault
+    /// detection time so the re-execution competes for the core like any
+    /// other host slice.
+    Fallback {
+        /// Slab index of the request being recovered.
+        request: usize,
+        /// Host cycles the re-execution costs.
+        cycles: f64,
+    },
 }
 
 /// The statistical shape of requests.
@@ -229,6 +239,9 @@ mod tests {
                 match item {
                     WorkItem::Host(c) => host += c,
                     WorkItem::Kernel { bytes } => kernel += spec.kernel_host_cycles(bytes),
+                    WorkItem::Fallback { .. } => {
+                        unreachable!("fallback items are engine-injected, never sampled")
+                    }
                 }
             }
         }

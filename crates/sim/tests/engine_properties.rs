@@ -66,11 +66,11 @@ proptest! {
         let b = Simulator::new(config(workload, seed, 1)).run();
         prop_assert_eq!(a, b);
 
-        // Conservation: busy cycles cannot exceed capacity beyond the
-        // boundary slice each core may have in flight at the horizon;
+        // Conservation: busy cycles never exceed capacity — the slice a
+        // core has in flight at the horizon is clamped at the boundary;
         // percentiles are ordered; completions are consistent with
         // samples.
-        prop_assert!(a.core_utilization <= 1.01);
+        prop_assert!(a.core_utilization <= 1.0 + 1e-9);
         prop_assert!(a.core_utilization > 0.9, "saturated closed loop idles");
         prop_assert!(a.latency.p50 <= a.latency.p95 + 1e-9);
         prop_assert!(a.latency.p95 <= a.latency.p99 + 1e-9);

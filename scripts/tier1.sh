@@ -52,6 +52,22 @@ cmp "$out_dir/faults_s1.json" "$out_dir/faults_s4.json"
 printf '\n' | cat crates/cli/tests/fixtures/golden_faults_sharded.json - > "$out_dir/faults_sharded_expected.json"
 cmp "$out_dir/faults_sharded_expected.json" "$out_dir/faults_s1.json"
 
+echo "== heavy-fallback smoke: fallback slices must conserve core capacity at any shard width =="
+# configs/faults-heavy-fallback.json drives 60% of offload attempts into
+# the fault path with a one-retry + fallback-to-host policy: over a
+# third of all kernels re-execute on the host. Those re-executions are
+# real scheduled slices, so (a) core_utilization must stay <= 1 for
+# every policy — the old phantom accounting pushed it past 1 — and
+# (b) the report must be byte-identical whether the simulation runs
+# monolithically or sharded 4 ways.
+./target/release/accelctl --shards 1 faults configs/faults-heavy-fallback.json > "$out_dir/faults_heavy_s1.json"
+./target/release/accelctl --shards 4 faults configs/faults-heavy-fallback.json > "$out_dir/faults_heavy_s4.json"
+cmp "$out_dir/faults_heavy_s1.json" "$out_dir/faults_heavy_s4.json"
+grep '"fallbacks"' "$out_dir/faults_heavy_s1.json" | awk -F': ' \
+    '{ gsub(/,/, "", $2); total += $2 } END { if (total < 1000) { print "heavy-fallback smoke: expected >= 1000 fallbacks, got " total; exit 1 } }'
+grep '"core_utilization"' "$out_dir/faults_heavy_s1.json" | awk -F': ' \
+    '{ gsub(/,/, "", $2); if ($2 + 0.0 > 1.0) { print "core_utilization " $2 " exceeds 1.0"; exit 1 } }'
+
 echo "== trace-reuse smoke: accelctl faults with reuse on and off must match byte-for-byte =="
 # Cross-point frozen-trace reuse replays pre-drawn requests instead of
 # redrawing them at every sweep grid point; the toggle must be
